@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the engines' real (wall-clock) execution
+//! speed: query submission + stepping to completion per engine, and the
+//! progressive engine's snapshot cost.
+//!
+//! These complement the virtual-time experiment binaries: virtual time
+//! makes the *benchmark results* deterministic, while these benches measure
+//! what the substrate actually costs on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
+use idebench_core::{Query, Settings, SystemAdapter, VizSpec};
+use idebench_engine_exact::ExactAdapter;
+use idebench_engine_progressive::ProgressiveAdapter;
+use idebench_engine_stratified::StratifiedAdapter;
+use idebench_engine_wander::WanderAdapter;
+use idebench_storage::Dataset;
+use std::sync::Arc;
+
+const ROWS: usize = 200_000;
+
+fn dataset() -> Dataset {
+    Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(ROWS, 42)))
+}
+
+fn avg_query() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+    );
+    Query::for_viz(&spec, None)
+}
+
+fn count_query() -> Query {
+    let spec = VizSpec::new(
+        "bench2",
+        "flights",
+        vec![BinDef::Width {
+            dimension: "dep_delay".into(),
+            width: 10.0,
+            anchor: 0.0,
+        }],
+        vec![AggregateSpec::count()],
+    );
+    Query::for_viz(&spec, None)
+}
+
+fn run_to_completion(adapter: &mut dyn SystemAdapter, query: &Query) {
+    let mut handle = adapter.submit(query);
+    while !handle.step(1 << 20).is_done() {}
+    let _ = handle.snapshot();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let ds = dataset();
+    let settings = Settings::default();
+
+    let mut group = c.benchmark_group("engine_full_query");
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    let mut exact = ExactAdapter::with_defaults();
+    exact.prepare(&ds, &settings).unwrap();
+    group.bench_function(BenchmarkId::new("exact", "avg_by_carrier"), |b| {
+        b.iter(|| run_to_completion(&mut exact, &avg_query()))
+    });
+    group.bench_function(BenchmarkId::new("exact", "count_by_delay"), |b| {
+        b.iter(|| run_to_completion(&mut exact, &count_query()))
+    });
+
+    let mut wander = WanderAdapter::with_defaults();
+    wander.prepare(&ds, &settings).unwrap();
+    group.bench_function(BenchmarkId::new("wander", "count_by_delay"), |b| {
+        b.iter(|| run_to_completion(&mut wander, &count_query()))
+    });
+
+    let mut stratified = StratifiedAdapter::with_defaults();
+    stratified.prepare(&ds, &settings).unwrap();
+    group.bench_function(BenchmarkId::new("stratified", "avg_by_carrier"), |b| {
+        b.iter(|| run_to_completion(&mut stratified, &avg_query()))
+    });
+    group.finish();
+
+    // Progressive: cost of one snapshot at ~10% progress (the per-poll
+    // price an IDE frontend pays).
+    let mut c2 = c.benchmark_group("progressive_snapshot");
+    let mut progressive = ProgressiveAdapter::with_defaults();
+    progressive.prepare(&ds, &settings).unwrap();
+    let mut handle = progressive.submit(&avg_query());
+    handle.step(1_000_000); // warmup + ~10% of rows
+    c2.bench_function("snapshot_at_10pct", |b| {
+        b.iter(|| handle.snapshot().expect("progress exists"))
+    });
+    c2.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! **Ablation benches** for the design choices DESIGN.md calls out:
+//!
+//! 1. Result reuse on/off in the progressive engine (paper §1: engines
+//!    "might or might not re-use previously computed results").
+//! 2. Speculation on/off under a fixed think time (the off-row of Exp 3).
+//! 3. Stratified sampling-rate sweep (paper §6: "determining a good sample
+//!    size … is time-consuming": quality vs TR-violation trade-off).
+//! 4. Driver step-quantum sweep (TR-enforcement precision vs overhead).
+
+use idebench_bench::{adapter_by_name, default_workflows, flights_dataset, run_workflows, ExpArgs};
+use idebench_core::{Settings, SummaryReport, SystemAdapter};
+use idebench_engine_stratified::{StratifiedAdapter, StratifiedConfig};
+use idebench_query::CachedGroundTruth;
+use idebench_workflow::WorkflowType;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rows = args.rows('M');
+    println!("ablations, {rows} rows");
+    let dataset = flights_dataset(rows, args.seed);
+    let mut gt = CachedGroundTruth::new(dataset.clone());
+    let workflows = default_workflows(WorkflowType::Mixed, args.seed, 5, 18);
+    let base: Settings = args
+        .settings()
+        .with_time_requirement_ms(1_000)
+        .with_think_time_ms(1_000);
+    let mut results = Vec::new();
+
+    // 1. Result reuse on/off.
+    println!("\n--- ablation: progressive result reuse ---");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "variant", "mean_MRE", "missing", "med_margin"
+    );
+    for (label, system) in [
+        ("reuse on", "progressive"),
+        ("reuse off", "progressive-noreuse"),
+    ] {
+        let mut adapter = adapter_by_name(system);
+        let report =
+            run_workflows(adapter.as_mut(), &dataset, &workflows, &base, &mut gt).expect("runs");
+        let s = &SummaryReport::from_detailed(&report).rows[0];
+        println!(
+            "{:<22} {:>10.3} {:>12.3} {:>10.3}",
+            label,
+            s.mean_mre.unwrap_or(f64::NAN),
+            s.mean_missing_bins,
+            s.median_margin.unwrap_or(f64::NAN)
+        );
+        results.push(serde_json::json!({
+            "ablation": "reuse", "variant": label,
+            "mean_mre": s.mean_mre, "mean_missing_bins": s.mean_missing_bins,
+        }));
+    }
+
+    // 2. Stratified sampling-rate sweep.
+    println!("\n--- ablation: stratified sampling rate (TR=1s) ---");
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>14}",
+        "rate", "%TR_violated", "mean_MRE", "missing", "prep_total(vs)"
+    );
+    for rate in [0.01, 0.05, 0.10, 0.25, 0.5] {
+        let mut adapter = StratifiedAdapter::new(StratifiedConfig {
+            sampling_rate: rate,
+            ..StratifiedConfig::default()
+        });
+        let prep = adapter.prepare(&dataset, &base).expect("prepare");
+        let report = run_workflows(&mut adapter, &dataset, &workflows, &base, &mut gt)
+            .expect("stratified runs");
+        let s = &SummaryReport::from_detailed(&report).rows[0];
+        println!(
+            "{:<10} {:>12.1} {:>10.3} {:>12.3} {:>14.1}",
+            rate,
+            s.pct_tr_violated,
+            s.mean_mre.unwrap_or(f64::NAN),
+            s.mean_missing_bins,
+            prep.total_units() as f64 / args.work_rate,
+        );
+        results.push(serde_json::json!({
+            "ablation": "sampling_rate", "rate": rate,
+            "pct_tr_violated": s.pct_tr_violated,
+            "mean_mre": s.mean_mre, "mean_missing_bins": s.mean_missing_bins,
+            "prep_total_s": prep.total_units() as f64 / args.work_rate,
+        }));
+    }
+
+    // 3. Step-quantum sweep (driver precision).
+    println!("\n--- ablation: driver step quantum (exact engine, TR=3s) ---");
+    println!("{:<12} {:>12} {:>10}", "quantum", "%TR_violated", "queries");
+    for quantum in [1_024u64, 16_384, 262_144, 1_048_576] {
+        let mut settings = base.clone().with_time_requirement_ms(3_000);
+        settings.step_quantum = quantum;
+        let mut adapter = adapter_by_name("exact");
+        let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+            .expect("exact runs");
+        let s = &SummaryReport::from_detailed(&report).rows[0];
+        println!(
+            "{:<12} {:>12.1} {:>10}",
+            quantum, s.pct_tr_violated, s.queries
+        );
+        results.push(serde_json::json!({
+            "ablation": "step_quantum", "quantum": quantum,
+            "pct_tr_violated": s.pct_tr_violated,
+        }));
+    }
+
+    // 4. Concurrency-contention sweep (off by default; the paper's Fig. 6d
+    //    offers contention as the explanation for workflow-type differences
+    //    while its Exp 4 found no overall concurrency effect).
+    println!("\n--- ablation: concurrency penalty (progressive, TR=1s) ---");
+    println!(
+        "{:<10} {:>12} {:>10}",
+        "penalty", "mean_missing", "mean_MRE"
+    );
+    for penalty in [0.0, 0.25, 0.5, 1.0] {
+        let mut settings = base.clone();
+        settings.concurrency_penalty = penalty;
+        let mut adapter = adapter_by_name("progressive");
+        let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+            .expect("progressive runs");
+        let s = &SummaryReport::from_detailed(&report).rows[0];
+        println!(
+            "{:<10} {:>12.3} {:>10.3}",
+            penalty,
+            s.mean_missing_bins,
+            s.mean_mre.unwrap_or(f64::NAN)
+        );
+        results.push(serde_json::json!({
+            "ablation": "concurrency_penalty", "penalty": penalty,
+            "mean_missing_bins": s.mean_missing_bins, "mean_mre": s.mean_mre,
+        }));
+    }
+
+    args.write_json("ablations.json", &results);
+}

@@ -1,0 +1,78 @@
+//! **Data-preparation time (paper §5.2, prose table).**
+//!
+//! The paper reports, for 500M rows: MonetDB 19 min (CSV load), XDB 130 min
+//! (load + primary key), IDEA 3 min (loads a fixed amount into memory),
+//! System X 27 min (load + offline stratified samples + warm-up query).
+//!
+//! This binary measures each adapter's `prepare()` on the M-scale dataset
+//! and prints the virtual preparation time alongside the paper's values —
+//! the *ratios* between systems are the reproduced shape.
+
+use idebench_bench::{adapter_by_name, flights_dataset, ExpArgs, MAIN_SYSTEMS};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rows = args.rows('M');
+    println!("data preparation time, {rows} rows (M scale)");
+    let dataset = flights_dataset(rows, args.seed);
+    let settings = args.settings();
+
+    let paper_minutes = [
+        ("exact", 19.0),
+        ("wander", 130.0),
+        ("progressive", 3.0),
+        ("stratified", 27.0),
+    ];
+
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>10} {:>12} {:>14}",
+        "system", "load(s)", "preproc(s)", "warmup(s)", "total(vs)", "paper(min@500M)"
+    );
+    let mut results = Vec::new();
+    let mut totals = Vec::new();
+    for system in MAIN_SYSTEMS {
+        let mut adapter = adapter_by_name(system);
+        let prep = adapter
+            .prepare(&dataset, &settings)
+            .unwrap_or_else(|e| panic!("{system}: {e}"));
+        let to_s = |u: u64| u as f64 / args.work_rate;
+        let total = to_s(prep.total_units());
+        let paper = paper_minutes
+            .iter()
+            .find(|(s, _)| *s == system)
+            .map_or(f64::NAN, |(_, m)| *m);
+        println!(
+            "{:<14} {:>10.1} {:>12.1} {:>10.1} {:>12.1} {:>14.0}",
+            system,
+            to_s(prep.load_units),
+            to_s(prep.preprocess_units),
+            to_s(prep.warmup_units),
+            total,
+            paper
+        );
+        totals.push((system, total, paper));
+        results.push(serde_json::json!({
+            "system": system,
+            "load_s": to_s(prep.load_units),
+            "preprocess_s": to_s(prep.preprocess_units),
+            "warmup_s": to_s(prep.warmup_units),
+            "total_s": total,
+            "paper_minutes_at_500m": paper,
+        }));
+    }
+    // Ratio check against the exact engine's baseline.
+    let base = totals
+        .iter()
+        .find(|(s, _, _)| *s == "exact")
+        .expect("exact runs");
+    println!("\nratios vs exact engine (measured | paper):");
+    for (system, total, paper) in &totals {
+        println!(
+            "  {:<14} {:>6.2}x | {:>6.2}x",
+            system,
+            total / base.1,
+            paper / base.2
+        );
+    }
+    args.write_json("data_prep.json", &results);
+}

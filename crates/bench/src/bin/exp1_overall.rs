@@ -1,0 +1,89 @@
+//! **Experiment 1 (paper §5.2, Figure 5 + Figures 6a–c).**
+//!
+//! Runs the mixed workload (10 workflows) against the four main systems for
+//! each of the five default time requirements on the M-scale de-normalized
+//! dataset, then prints:
+//!
+//! - the Figure-5 summary block per system/TR (% TR violations, mean
+//!   missing bins, median MRE, area above the truncated MRE CDF),
+//! - the Figure-6a series (TR-violation ratio vs TR),
+//! - the Figure-6b series (median of mean relative margins vs TR),
+//! - the Figure-6c series (mean cosine distance vs TR).
+
+use idebench_bench::{
+    adapter_by_name, default_workflows, flights_dataset, print_summary, run_workflows, ExpArgs,
+    MAIN_SYSTEMS,
+};
+use idebench_core::{DetailedReport, Settings, SummaryReport};
+use idebench_workflow::WorkflowType;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let rows = args.rows('M');
+    println!("exp1: mixed workload, {rows} rows, systems {MAIN_SYSTEMS:?}");
+    let dataset = flights_dataset(rows, args.seed);
+    let workflows = default_workflows(WorkflowType::Mixed, args.seed, 10, 18);
+    eprintln!("precomputing ground truth on all cores...");
+    let mut gt = idebench_bench::parallel_ground_truth(&dataset, &workflows);
+
+    let mut all = Vec::new();
+    for tr in Settings::DEFAULT_TIME_REQUIREMENTS_MS {
+        for system in MAIN_SYSTEMS {
+            let settings = args
+                .settings()
+                .with_time_requirement_ms(tr)
+                .with_think_time_ms(1_000); // stress-test think time (§5.1)
+            let mut adapter = adapter_by_name(system);
+            let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+                .unwrap_or_else(|e| panic!("{system} @ TR={tr}: {e}"));
+            eprintln!("  done: {system} TR={tr}ms ({} queries)", report.rows.len());
+            all.push(report);
+        }
+    }
+    let merged = DetailedReport::merged(all);
+    let summary = SummaryReport::from_detailed(&merged);
+    print_summary(
+        "Figure 5: summary report (mixed workload, size M)",
+        &summary,
+    );
+
+    // Figure 6a/6b/6c series per system.
+    println!("\n=== Figures 6a-6c: series over time requirements ===");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12}",
+        "system", "TR(ms)", "%TR_violated", "med_margin", "cosine"
+    );
+    for system in MAIN_SYSTEMS {
+        for tr in Settings::DEFAULT_TIME_REQUIREMENTS_MS {
+            let row = summary
+                .rows
+                .iter()
+                .find(|r| r.system == system && r.time_req == tr)
+                .expect("cell exists");
+            println!(
+                "{:<14} {:>8} {:>12.1} {:>12} {:>12}",
+                system,
+                tr,
+                row.pct_tr_violated,
+                row.median_margin.map_or("-".into(), |v| format!("{v:.3}")),
+                row.mean_cosine.map_or("-".into(), |v| format!("{v:.3}")),
+            );
+        }
+    }
+
+    // The Figure-5 CDFs, as machine-readable series.
+    let mut cdfs = serde_json::Map::new();
+    for system in MAIN_SYSTEMS {
+        for tr in Settings::DEFAULT_TIME_REQUIREMENTS_MS {
+            let cdf = SummaryReport::mre_cdf(&merged, system, tr);
+            cdfs.insert(
+                format!("{system}@{tr}"),
+                serde_json::to_value(&cdf).expect("cdf serializes"),
+            );
+        }
+    }
+    args.write_json("exp1_summary.json", &summary);
+    args.write_json("exp1_mre_cdfs.json", &serde_json::Value::Object(cdfs));
+    let (hits, misses) = gt.stats();
+    eprintln!("ground-truth cache: {hits} hits / {misses} misses");
+}

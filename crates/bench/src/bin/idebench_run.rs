@@ -1,0 +1,89 @@
+//! The IDEBench command-line runner (paper §4.4): load a configuration,
+//! simulate its workloads against every configured system, and emit the
+//! summary and detailed reports.
+//!
+//! ```sh
+//! # scaffold a configuration template
+//! cargo run --release -p idebench-bench --bin idebench_run -- --init my.json
+//! # run it
+//! cargo run --release -p idebench-bench --bin idebench_run -- --config my.json --out results
+//! ```
+//!
+//! Without `--config`, runs the paper's default configuration (all four
+//! systems × five time requirements × 50 workflows — several minutes).
+
+use idebench_bench::config::BenchmarkConfig;
+use std::path::PathBuf;
+
+fn main() {
+    let mut config_path: Option<PathBuf> = None;
+    let mut init_path: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("bench-results");
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--config" => config_path = iter.next().map(PathBuf::from),
+            "--init" => init_path = iter.next().map(PathBuf::from),
+            "--out" => {
+                if let Some(dir) = iter.next() {
+                    out_dir = PathBuf::from(dir);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: idebench_run [--config FILE | --init FILE] [--out DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = init_path {
+        std::fs::write(&path, BenchmarkConfig::default().to_json()).expect("write template");
+        println!("wrote configuration template to {}", path.display());
+        return;
+    }
+
+    let config = match config_path {
+        Some(path) => BenchmarkConfig::load(&path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        None => BenchmarkConfig::default(),
+    };
+    println!(
+        "running: {} rows, systems {:?}, TRs {:?} ms",
+        config.dataset.rows, config.systems, config.time_requirements_ms
+    );
+
+    let run = config
+        .execute(|system, tr, queries| {
+            eprintln!("  done: {system} @ TR={tr}ms ({queries} queries)")
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+
+    println!("\n=== summary (per system x TR) ===");
+    print!("{}", run.summary.render_text());
+    println!("\n=== summary (per system x TR x workflow type) ===");
+    print!("{}", run.summary_by_kind.render_text());
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let csv_path = out_dir.join("detailed_report.csv");
+    std::fs::write(&csv_path, run.detailed.to_csv()).expect("write csv");
+    let json_path = out_dir.join("summary.json");
+    std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&run.summary).expect("summary serializes"),
+    )
+    .expect("write summary");
+    println!(
+        "\n[wrote {} and {}]",
+        csv_path.display(),
+        json_path.display()
+    );
+}

@@ -1,0 +1,86 @@
+//! Dataset exporter: generate a benchmark dataset and write it as CSV —
+//! the interchange format the paper's data-preparation experiment feeds to
+//! external systems ("data stored in a CSV file can be loaded into the
+//! database through an SQL interface", §5.2).
+//!
+//! ```sh
+//! cargo run --release -p idebench-bench --bin make_dataset -- \
+//!     --dataset flights --rows 1000000 --seed 42 --out flights.csv [--normalized]
+//! ```
+//!
+//! With `--normalized`, writes `<out>` for the fact table plus one CSV per
+//! dimension next to it.
+
+use idebench_datagen::normalize_flights;
+use idebench_storage::write_csv;
+use std::path::PathBuf;
+
+fn main() {
+    let mut dataset = "flights".to_string();
+    let mut rows = 1_000_000usize;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("flights.csv");
+    let mut normalized = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--dataset" => dataset = iter.next().unwrap_or(dataset),
+            "--rows" => rows = iter.next().and_then(|v| v.parse().ok()).unwrap_or(rows),
+            "--seed" => seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--out" => out = iter.next().map(PathBuf::from).unwrap_or(out),
+            "--normalized" => normalized = true,
+            _ => {
+                eprintln!(
+                    "usage: make_dataset [--dataset flights|orders] [--rows N] \
+                     [--seed N] [--out FILE.csv] [--normalized]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let table = match dataset.as_str() {
+        "flights" => idebench_datagen::flights::generate(rows, seed),
+        "orders" => idebench_datagen::orders::generate(rows, seed),
+        other => {
+            eprintln!("unknown dataset {other}; use flights or orders");
+            std::process::exit(2);
+        }
+    };
+
+    if normalized {
+        if dataset != "flights" {
+            eprintln!("--normalized is defined for the flights star schema only");
+            std::process::exit(2);
+        }
+        let star_ds = normalize_flights(&table).expect("normalization succeeds");
+        let star = star_ds.as_star().expect("star schema");
+        write_file(&out, |w| write_csv(star.fact(), w));
+        for (spec, dim) in star.dimensions() {
+            let dim_path = out.with_file_name(format!("{}.csv", spec.table_name));
+            write_file(&dim_path, |w| write_csv(dim, w));
+        }
+    } else {
+        write_file(&out, |w| write_csv(&table, w));
+    }
+}
+
+fn write_file(
+    path: &std::path::Path,
+    write: impl FnOnce(&mut std::fs::File) -> Result<(), idebench_storage::StorageError>,
+) {
+    let mut file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    write(&mut file).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {} ({:.1} MiB)",
+        path.display(),
+        size as f64 / (1 << 20) as f64
+    );
+}

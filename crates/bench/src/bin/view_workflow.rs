@@ -1,0 +1,85 @@
+//! Workflow viewer (the paper's "interactive viewer", terminal edition):
+//! render a workflow JSON file — or a freshly generated one — as text,
+//! optionally with the SQL each interaction would trigger.
+//!
+//! ```sh
+//! cargo run -p idebench-bench --bin view_workflow -- --file wf.json --sql
+//! cargo run -p idebench-bench --bin view_workflow -- --generate mixed --seed 7
+//! ```
+
+use idebench_core::VizGraph;
+use idebench_query::to_sql;
+use idebench_workflow::{Workflow, WorkflowGenerator, WorkflowType};
+use std::path::PathBuf;
+
+fn main() {
+    let mut file: Option<PathBuf> = None;
+    let mut generate: Option<String> = None;
+    let mut seed = 7u64;
+    let mut len = 18usize;
+    let mut show_sql = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--file" => file = iter.next().map(PathBuf::from),
+            "--generate" => generate = iter.next(),
+            "--seed" => seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--len" => len = iter.next().and_then(|v| v.parse().ok()).unwrap_or(len),
+            "--sql" => show_sql = true,
+            _ => {
+                eprintln!(
+                    "usage: view_workflow (--file WF.json | --generate TYPE) \
+                     [--seed N] [--len N] [--sql]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workflow: Workflow = match (file, generate) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            Workflow::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        }
+        (None, Some(kind_name)) => {
+            let kind = WorkflowType::ALL
+                .into_iter()
+                .find(|k| k.label() == kind_name)
+                .unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown type {kind_name}; one of: {}",
+                        WorkflowType::ALL.map(|k| k.label()).join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            WorkflowGenerator::new(kind, seed).generate(len)
+        }
+        (None, None) => {
+            eprintln!("nothing to view; pass --file or --generate (see --help)");
+            std::process::exit(2);
+        }
+    };
+
+    print!("{}", workflow.render_text());
+    if show_sql {
+        println!("\ntriggered queries:");
+        let mut graph = VizGraph::new();
+        for (i, interaction) in workflow.interactions.iter().enumerate() {
+            match graph.apply(interaction) {
+                Ok(affected) => {
+                    for viz in affected {
+                        let q = graph.query_for(&viz).expect("query composes");
+                        println!("  {i:>3}. [{viz}] {}", to_sql(&q, None));
+                    }
+                }
+                Err(e) => println!("  {i:>3}. invalid interaction: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! The benchmark driver (paper §4.4).
+//!
+//! The driver simulates a workflow against a [`SystemAdapter`]: it applies
+//! each interaction to the visualization graph, fans the interaction out
+//! into (possibly multiple concurrent) queries, enforces the time
+//! requirement on every query, grants think-time to the adapter between
+//! interactions, and records one [`QueryMeasurement`] per query.
+//!
+//! Concurrency model: queries triggered by the same interaction run in
+//! parallel *lanes*, each with the full time-requirement budget — matching
+//! the paper's 20-core testbed where a handful of concurrent queries do not
+//! contend (its Exp 4 found no significant concurrency effect). Under
+//! virtual execution the interaction's elapsed time is the slowest lane.
+
+use crate::adapter::{PrepStats, QueryHandle, SystemAdapter};
+use crate::error::CoreError;
+use crate::graph::VizGraph;
+use crate::interaction::Interaction;
+use crate::query::Query;
+use crate::result::AggResult;
+use crate::settings::{ExecutionMode, Settings};
+use crate::spec::BinDef;
+use idebench_storage::Dataset;
+use rustc_hash::FxHashMap;
+use std::time::Instant;
+
+/// Provides exact results for metric evaluation.
+///
+/// Implemented by the `idebench-query` crate on top of the exact executor;
+/// kept as a trait here so the benchmark core stays engine-agnostic.
+pub trait GroundTruthProvider {
+    /// The exact, complete result for `query`.
+    fn ground_truth(&mut self, query: &Query) -> AggResult;
+}
+
+/// Everything a workflow expects to expose to the driver.
+///
+/// The `idebench-workflow` crate's `Workflow` implements this; tests can run
+/// plain interaction slices through [`BenchmarkDriver::run_interactions`].
+pub trait RunnableWorkflow {
+    /// Workflow name (report column `workflow`).
+    fn workflow_name(&self) -> &str;
+    /// Workflow type label (e.g. `"mixed"`, `"1n_linking"`).
+    fn workflow_kind(&self) -> &str;
+    /// The interaction sequence.
+    fn interactions(&self) -> &[Interaction];
+}
+
+/// Measurement for a single executed query (one detailed-report row).
+#[derive(Debug, Clone)]
+pub struct QueryMeasurement {
+    /// Sequential query id within the workflow run.
+    pub query_id: usize,
+    /// Index of the interaction that triggered the query.
+    pub interaction_id: usize,
+    /// The visualization the query refreshes.
+    pub viz_name: String,
+    /// The executed query (composed filter included).
+    pub query: Query,
+    /// Start timestamp, ms since workflow start (virtual or wall).
+    pub start_ms: f64,
+    /// End timestamp (completion or cancellation at the TR), ms.
+    pub end_ms: f64,
+    /// Whether the time requirement was violated (no fetchable result at TR).
+    pub tr_violated: bool,
+    /// The snapshot taken at the TR (or at completion), if any.
+    pub result: Option<AggResult>,
+    /// How many queries the triggering interaction issued concurrently.
+    pub concurrent: usize,
+}
+
+/// The outcome of running one workflow against one system.
+#[derive(Debug, Clone)]
+pub struct WorkflowOutcome {
+    /// System (adapter) name.
+    pub system: String,
+    /// Workflow name.
+    pub workflow_name: String,
+    /// Workflow type label.
+    pub workflow_kind: String,
+    /// Settings the run used.
+    pub settings: Settings,
+    /// Data-preparation cost reported by the adapter.
+    pub prep: PrepStats,
+    /// One measurement per executed query, in execution order.
+    pub query_results: Vec<QueryMeasurement>,
+    /// Total virtual/wall ms the workflow took (queries + think time).
+    pub total_ms: f64,
+}
+
+/// The IDEBench benchmark driver.
+#[derive(Debug, Clone)]
+pub struct BenchmarkDriver {
+    settings: Settings,
+}
+
+impl BenchmarkDriver {
+    /// Creates a driver with the given settings.
+    pub fn new(settings: Settings) -> Self {
+        BenchmarkDriver { settings }
+    }
+
+    /// The driver's settings.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// Prepares the adapter and runs a full workflow.
+    pub fn run_workflow(
+        &self,
+        adapter: &mut dyn SystemAdapter,
+        dataset: &Dataset,
+        workflow: &impl RunnableWorkflow,
+    ) -> Result<WorkflowOutcome, CoreError> {
+        self.run_interactions(
+            adapter,
+            dataset,
+            workflow.workflow_name(),
+            workflow.workflow_kind(),
+            workflow.interactions(),
+        )
+    }
+
+    /// Prepares the adapter and runs a raw interaction sequence.
+    pub fn run_interactions(
+        &self,
+        adapter: &mut dyn SystemAdapter,
+        dataset: &Dataset,
+        workflow_name: &str,
+        workflow_kind: &str,
+        interactions: &[Interaction],
+    ) -> Result<WorkflowOutcome, CoreError> {
+        let prep = adapter.prepare(dataset, &self.settings)?;
+        adapter.workflow_start();
+
+        let mut graph = VizGraph::new();
+        let mut ranges = ColumnRanges::default();
+        let mut measurements = Vec::new();
+        let mut clock_ms = 0.0f64;
+        let mut query_id = 0usize;
+
+        for (interaction_id, interaction) in interactions.iter().enumerate() {
+            let affected = graph.apply(interaction)?;
+
+            // Adapter notifications for non-query interactions. Queries are
+            // resolved (count-binnings → widths) before they reach the
+            // adapter so speculative fingerprints match later real queries.
+            match interaction {
+                Interaction::Link { source, target } => {
+                    let mut sq = graph.query_for(source)?;
+                    let mut tq = graph.query_for(target)?;
+                    resolve_count_binnings(&mut sq, dataset, &mut ranges)?;
+                    resolve_count_binnings(&mut tq, dataset, &mut ranges)?;
+                    adapter.on_link(&sq, &tq);
+                }
+                Interaction::Discard { viz } => adapter.on_discard(viz),
+                _ => {}
+            }
+
+            // Build and submit one query per affected viz (concurrent lanes).
+            let concurrent = affected.len();
+            let mut lanes: Vec<(String, Query, Box<dyn QueryHandle>)> =
+                Vec::with_capacity(concurrent);
+            for name in &affected {
+                let mut query = graph.query_for(name)?;
+                resolve_count_binnings(&mut query, dataset, &mut ranges)?;
+                let handle = adapter.submit(&query);
+                lanes.push((name.clone(), query, handle));
+            }
+
+            // Drive each lane to completion or the TR budget. With a
+            // nonzero contention penalty, k concurrent lanes each run at
+            // 1/(1 + penalty·(k−1)) of full speed (same wall TR, less work).
+            let slowdown =
+                1.0 + self.settings.concurrency_penalty * concurrent.saturating_sub(1) as f64;
+            let mut interaction_elapsed_ms = 0.0f64;
+            for (viz_name, query, mut handle) in lanes {
+                let (elapsed_ms, done) = self.drive_to_budget(handle.as_mut(), slowdown);
+                let snapshot = handle.snapshot();
+                let tr_violated = snapshot.is_none();
+                debug_assert!(
+                    !(done && tr_violated),
+                    "a completed query must have a fetchable result"
+                );
+                interaction_elapsed_ms = interaction_elapsed_ms.max(elapsed_ms);
+                measurements.push(QueryMeasurement {
+                    query_id,
+                    interaction_id,
+                    viz_name,
+                    query,
+                    start_ms: clock_ms,
+                    end_ms: clock_ms + elapsed_ms,
+                    tr_violated,
+                    result: snapshot,
+                    concurrent,
+                });
+                query_id += 1;
+                // Dropping the handle cancels any remaining work.
+            }
+
+            clock_ms += interaction_elapsed_ms;
+
+            // Think time: the user stares at the dashboard; the adapter may
+            // speculate (paper §5.4 / Exp 3).
+            if let Some(budget) = self.settings.think_budget_units() {
+                adapter.on_think(budget);
+            }
+            clock_ms += self.settings.think_time_ms as f64;
+        }
+
+        adapter.workflow_end();
+        Ok(WorkflowOutcome {
+            system: adapter.name().to_string(),
+            workflow_name: workflow_name.to_string(),
+            workflow_kind: workflow_kind.to_string(),
+            settings: self.settings.clone(),
+            prep,
+            query_results: measurements,
+            total_ms: clock_ms,
+        })
+    }
+
+    /// Steps one query until done or the TR budget is exhausted.
+    ///
+    /// `slowdown ≥ 1` scales how much wall time each work unit costs
+    /// (contention); the TR stays fixed, so the *work* budget shrinks.
+    /// Returns `(elapsed_ms, done)`, where `elapsed_ms` is capped at the TR.
+    fn drive_to_budget(&self, handle: &mut dyn QueryHandle, slowdown: f64) -> (f64, bool) {
+        match self.settings.execution {
+            ExecutionMode::Virtual { .. } => {
+                let budget = (self
+                    .settings
+                    .tr_budget_units()
+                    .expect("virtual mode has a unit budget") as f64
+                    / slowdown)
+                    .floor() as u64;
+                let mut spent = 0u64;
+                let mut done = false;
+                while spent < budget {
+                    let grant = self.settings.step_quantum.min(budget - spent);
+                    let status = handle.step(grant);
+                    // An engine must not overdraw its grant.
+                    debug_assert!(status.units() <= grant, "engine overdrew step grant");
+                    spent += status.units();
+                    if status.is_done() {
+                        done = true;
+                        break;
+                    }
+                    if status.units() == 0 {
+                        // Engine yields without progress: treat as stalled at
+                        // the budget to avoid an infinite loop.
+                        spent = budget;
+                        break;
+                    }
+                }
+                (self.settings.units_to_ms(spent) * slowdown, done)
+            }
+            ExecutionMode::Wall => {
+                let start = Instant::now();
+                let deadline_ms = self.settings.time_requirement_ms as f64;
+                let mut done = false;
+                loop {
+                    let status = handle.step(self.settings.step_quantum);
+                    if status.is_done() {
+                        done = true;
+                        break;
+                    }
+                    if start.elapsed().as_secs_f64() * 1e3 >= deadline_ms {
+                        break;
+                    }
+                }
+                let elapsed = (start.elapsed().as_secs_f64() * 1e3).min(deadline_ms);
+                (elapsed, done)
+            }
+        }
+    }
+}
+
+/// Cache of per-column `(min, max)` used to resolve [`BinDef::Count`]
+/// binnings into concrete widths (paper §2.2: count-based binning "requires
+/// a computation of the current minimum and maximum value").
+///
+/// Public so harnesses can replay workloads outside the driver (e.g. to
+/// pre-compute ground truth) with identical binning resolution.
+#[derive(Debug, Default)]
+pub struct ColumnRanges {
+    ranges: FxHashMap<String, (f64, f64)>,
+}
+
+impl ColumnRanges {
+    /// The cached (or freshly scanned) min/max of a column.
+    pub fn min_max(&mut self, dataset: &Dataset, column: &str) -> Result<(f64, f64), CoreError> {
+        if let Some(&r) = self.ranges.get(column) {
+            return Ok(r);
+        }
+        let col = match dataset {
+            Dataset::Denormalized(t) => t.column(column)?.clone(),
+            Dataset::Star(s) => match s.fact().column(column) {
+                Ok(c) => c.clone(),
+                Err(_) => {
+                    let (_, dim) = s
+                        .dimension_of_column(column)
+                        .ok_or_else(|| CoreError::Storage(format!("unknown column {column}")))?;
+                    dim.column(column)?.clone()
+                }
+            },
+        };
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..col.len() {
+            if let Some(v) = col.numeric_at(i) {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Err(CoreError::Storage(format!(
+                "column {column} has no values to derive a bin range from"
+            )));
+        }
+        self.ranges.insert(column.to_string(), (min, max));
+        Ok((min, max))
+    }
+}
+
+/// Rewrites every `Count` binning of `query` into an equivalent `Width`
+/// binning over the column's observed `[min, max]`.
+pub fn resolve_count_binnings(
+    query: &mut Query,
+    dataset: &Dataset,
+    ranges: &mut ColumnRanges,
+) -> Result<(), CoreError> {
+    for bin in &mut query.binning {
+        if let BinDef::Count { dimension, bins } = bin {
+            let (min, max) = ranges.min_max(dataset, dimension)?;
+            let nbins = (*bins).max(1) as f64;
+            // Widen slightly so max falls inside the last bin rather than
+            // spilling into bin `bins`.
+            let width = ((max - min) / nbins).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
+            *bin = BinDef::Width {
+                dimension: dimension.clone(),
+                width,
+                anchor: min,
+            };
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::StepStatus;
+    use crate::result::{BinCoord, BinKey, BinStats};
+    use crate::spec::{AggregateSpec, VizSpec};
+    use idebench_storage::{DataType, TableBuilder};
+    use std::sync::Arc;
+
+    /// A toy adapter whose queries cost `cost_units` and return one bin.
+    struct ToyAdapter {
+        cost_units: u64,
+        progressive: bool,
+        prepared: bool,
+        think_calls: Vec<u64>,
+        discards: Vec<String>,
+        links: usize,
+    }
+
+    impl ToyAdapter {
+        fn new(cost_units: u64, progressive: bool) -> Self {
+            ToyAdapter {
+                cost_units,
+                progressive,
+                prepared: false,
+                think_calls: Vec::new(),
+                discards: Vec::new(),
+                links: 0,
+            }
+        }
+    }
+
+    struct ToyHandle {
+        remaining: u64,
+        progressive: bool,
+        done: bool,
+    }
+
+    impl QueryHandle for ToyHandle {
+        fn step(&mut self, granted: u64) -> StepStatus {
+            let used = granted.min(self.remaining);
+            self.remaining -= used;
+            if self.remaining == 0 {
+                self.done = true;
+                StepStatus::Done { units: used }
+            } else {
+                StepStatus::Running { units: used }
+            }
+        }
+
+        fn snapshot(&self) -> Option<AggResult> {
+            if self.done || self.progressive {
+                let mut r = AggResult::empty_exact();
+                r.insert(BinKey::d1(BinCoord::Cat(0)), BinStats::exact(vec![1.0]));
+                Some(r)
+            } else {
+                None
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+    }
+
+    impl SystemAdapter for ToyAdapter {
+        fn name(&self) -> &str {
+            "toy"
+        }
+
+        fn prepare(
+            &mut self,
+            _dataset: &Dataset,
+            _settings: &Settings,
+        ) -> Result<PrepStats, CoreError> {
+            self.prepared = true;
+            Ok(PrepStats {
+                load_units: 7,
+                ..Default::default()
+            })
+        }
+
+        fn submit(&mut self, _query: &Query) -> Box<dyn QueryHandle> {
+            Box::new(ToyHandle {
+                remaining: self.cost_units,
+                progressive: self.progressive,
+                done: false,
+            })
+        }
+
+        fn on_think(&mut self, budget_units: u64) {
+            self.think_calls.push(budget_units);
+        }
+
+        fn on_discard(&mut self, viz_name: &str) {
+            self.discards.push(viz_name.to_string());
+        }
+
+        fn on_link(&mut self, _s: &Query, _t: &Query) {
+            self.links += 1;
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("carrier", DataType::Nominal),
+                ("dep_delay", DataType::Float),
+            ],
+        );
+        for i in 0..10 {
+            b.push_row(&["AA".into(), (i as f64).into()]).unwrap();
+        }
+        Dataset::Denormalized(Arc::new(b.finish()))
+    }
+
+    fn viz(name: &str) -> VizSpec {
+        VizSpec::new(
+            name,
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        )
+    }
+
+    fn settings() -> Settings {
+        // TR = 1 virtual second at 1000 units/s → budget 1000 units.
+        Settings::default()
+            .with_time_requirement_ms(1_000)
+            .with_think_time_ms(500)
+            .with_execution(ExecutionMode::Virtual { work_rate: 1_000.0 })
+    }
+
+    #[test]
+    fn fast_blocking_query_completes_within_tr() {
+        let mut adapter = ToyAdapter::new(400, false);
+        let driver = BenchmarkDriver::new(settings());
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[Interaction::CreateViz { viz: viz("a") }],
+            )
+            .unwrap();
+        assert_eq!(out.query_results.len(), 1);
+        let m = &out.query_results[0];
+        assert!(!m.tr_violated);
+        assert!(m.result.is_some());
+        assert!((m.end_ms - m.start_ms - 400.0).abs() < 1e-9);
+        assert_eq!(out.prep.load_units, 7);
+    }
+
+    #[test]
+    fn slow_blocking_query_violates_tr() {
+        let mut adapter = ToyAdapter::new(5_000, false);
+        let driver = BenchmarkDriver::new(settings());
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[Interaction::CreateViz { viz: viz("a") }],
+            )
+            .unwrap();
+        let m = &out.query_results[0];
+        assert!(m.tr_violated);
+        assert!(m.result.is_none());
+        // Cancelled exactly at the TR.
+        assert!((m.end_ms - m.start_ms - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_progressive_query_still_delivers() {
+        let mut adapter = ToyAdapter::new(5_000, true);
+        let driver = BenchmarkDriver::new(settings());
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[Interaction::CreateViz { viz: viz("a") }],
+            )
+            .unwrap();
+        let m = &out.query_results[0];
+        assert!(!m.tr_violated);
+        assert!(m.result.is_some());
+    }
+
+    #[test]
+    fn link_interaction_fans_out_concurrent_queries() {
+        let mut adapter = ToyAdapter::new(100, false);
+        let driver = BenchmarkDriver::new(settings());
+        let interactions = vec![
+            Interaction::CreateViz { viz: viz("src") },
+            Interaction::CreateViz { viz: viz("t1") },
+            Interaction::CreateViz { viz: viz("t2") },
+            Interaction::Link {
+                source: "src".into(),
+                target: "t1".into(),
+            },
+            Interaction::Link {
+                source: "src".into(),
+                target: "t2".into(),
+            },
+            Interaction::SetFilter {
+                viz: "src".into(),
+                filter: None,
+            },
+        ];
+        let out = driver
+            .run_interactions(&mut adapter, &dataset(), "wf", "test", &interactions)
+            .unwrap();
+        // Last interaction refreshes src + t1 + t2 concurrently.
+        let last: Vec<_> = out
+            .query_results
+            .iter()
+            .filter(|m| m.interaction_id == 5)
+            .collect();
+        assert_eq!(last.len(), 3);
+        assert!(last.iter().all(|m| m.concurrent == 3));
+        assert_eq!(adapter.links, 2);
+    }
+
+    #[test]
+    fn think_time_budget_granted_each_interaction() {
+        let mut adapter = ToyAdapter::new(10, false);
+        let driver = BenchmarkDriver::new(settings());
+        driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[
+                    Interaction::CreateViz { viz: viz("a") },
+                    Interaction::CreateViz { viz: viz("b") },
+                ],
+            )
+            .unwrap();
+        // 500 ms think at 1000 units/s = 500 units, twice.
+        assert_eq!(adapter.think_calls, vec![500, 500]);
+    }
+
+    #[test]
+    fn clock_advances_with_queries_and_think_time() {
+        let mut adapter = ToyAdapter::new(200, false);
+        let driver = BenchmarkDriver::new(settings());
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[
+                    Interaction::CreateViz { viz: viz("a") },
+                    Interaction::CreateViz { viz: viz("b") },
+                ],
+            )
+            .unwrap();
+        // Each interaction: 200 ms query + 500 ms think.
+        assert!((out.total_ms - 2.0 * (200.0 + 500.0)).abs() < 1e-9);
+        let second = &out.query_results[1];
+        assert!((second.start_ms - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_notifies_adapter_and_triggers_no_query() {
+        let mut adapter = ToyAdapter::new(10, false);
+        let driver = BenchmarkDriver::new(settings());
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[
+                    Interaction::CreateViz { viz: viz("a") },
+                    Interaction::Discard { viz: "a".into() },
+                ],
+            )
+            .unwrap();
+        assert_eq!(out.query_results.len(), 1);
+        assert_eq!(adapter.discards, vec!["a"]);
+    }
+
+    #[test]
+    fn count_binning_resolved_against_data_range() {
+        let mut adapter = ToyAdapter::new(10, false);
+        let driver = BenchmarkDriver::new(settings());
+        let spec = VizSpec::new(
+            "q",
+            "flights",
+            vec![BinDef::Count {
+                dimension: "dep_delay".into(),
+                bins: 3,
+            }],
+            vec![AggregateSpec::count()],
+        );
+        let out = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[Interaction::CreateViz { viz: spec }],
+            )
+            .unwrap();
+        let q = &out.query_results[0].query;
+        match &q.binning[0] {
+            BinDef::Width { width, anchor, .. } => {
+                // data is 0..9 → min 0, max 9, 3 bins ⇒ width 3.
+                assert!((anchor - 0.0).abs() < 1e-9);
+                assert!((width - 3.0).abs() < 1e-6);
+            }
+            other => panic!("expected Width, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_viz_interaction_is_an_error() {
+        let mut adapter = ToyAdapter::new(10, false);
+        let driver = BenchmarkDriver::new(settings());
+        let err = driver
+            .run_interactions(
+                &mut adapter,
+                &dataset(),
+                "wf",
+                "test",
+                &[Interaction::Discard {
+                    viz: "ghost".into(),
+                }],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownViz(_)));
+    }
+}

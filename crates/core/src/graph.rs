@@ -1,0 +1,507 @@
+//! The visualization dependency graph the driver maintains (paper §2.2).
+//!
+//! Dashboards are "dependency graphs of visualization and filter objects":
+//! nodes are live visualizations, directed edges are links. Filtering or
+//! selecting on a node forces every reachable downstream node to update,
+//! which is what fans a single interaction out into multiple concurrent
+//! queries.
+
+use crate::error::CoreError;
+use crate::interaction::Interaction;
+use crate::query::Query;
+use crate::spec::{BinDef, FilterExpr, Predicate, SelCoord, Selection, VizSpec};
+use std::collections::BTreeMap;
+
+/// State of one live visualization.
+#[derive(Debug, Clone)]
+struct VizNode {
+    spec: VizSpec,
+    selection: Option<Selection>,
+    /// Names of vizs this node links *to* (this node is the source).
+    targets: Vec<String>,
+}
+
+/// The driver's dashboard state machine.
+#[derive(Debug, Clone, Default)]
+pub struct VizGraph {
+    // BTreeMap for deterministic iteration order in reports/tests.
+    nodes: BTreeMap<String, VizNode>,
+}
+
+impl VizGraph {
+    /// An empty dashboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live visualizations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the dashboard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether a viz with this name is live.
+    pub fn contains(&self, name: &str) -> bool {
+        self.nodes.contains_key(name)
+    }
+
+    /// The spec of a live viz.
+    pub fn spec(&self, name: &str) -> Option<&VizSpec> {
+        self.nodes.get(name).map(|n| &n.spec)
+    }
+
+    /// Applies an interaction, returning the names of the visualizations
+    /// that must update, in deterministic order (paper §4.3 semantics; see
+    /// [`Interaction`] for which interaction updates what).
+    pub fn apply(&mut self, interaction: &Interaction) -> Result<Vec<String>, CoreError> {
+        match interaction {
+            Interaction::CreateViz { viz } => {
+                if self.nodes.contains_key(&viz.name) {
+                    return Err(CoreError::DuplicateViz(viz.name.clone()));
+                }
+                self.nodes.insert(
+                    viz.name.clone(),
+                    VizNode {
+                        spec: viz.clone(),
+                        selection: None,
+                        targets: Vec::new(),
+                    },
+                );
+                Ok(vec![viz.name.clone()])
+            }
+            Interaction::SetFilter { viz, filter } => {
+                let node = self
+                    .nodes
+                    .get_mut(viz)
+                    .ok_or_else(|| CoreError::UnknownViz(viz.clone()))?;
+                node.spec.filter = filter.clone();
+                // The filtered viz itself plus everything downstream updates.
+                let mut affected = vec![viz.clone()];
+                self.collect_downstream(viz, &mut affected);
+                Ok(affected)
+            }
+            Interaction::Select { viz, selection } => {
+                let node = self
+                    .nodes
+                    .get_mut(viz)
+                    .ok_or_else(|| CoreError::UnknownViz(viz.clone()))?;
+                node.selection = selection.clone();
+                // Only linked downstream vizs update; the source keeps its
+                // own result (its data did not change).
+                let mut affected = Vec::new();
+                self.collect_downstream(viz, &mut affected);
+                Ok(affected)
+            }
+            Interaction::Link { source, target } => {
+                if !self.nodes.contains_key(source) {
+                    return Err(CoreError::UnknownViz(source.clone()));
+                }
+                if !self.nodes.contains_key(target) {
+                    return Err(CoreError::UnknownViz(target.clone()));
+                }
+                if self.reachable(target, source) {
+                    return Err(CoreError::LinkCycle {
+                        source: source.clone(),
+                        target: target.clone(),
+                    });
+                }
+                let node = self.nodes.get_mut(source).expect("checked above");
+                if !node.targets.contains(target) {
+                    node.targets.push(target.clone());
+                }
+                // The target (and its own downstream) must now reflect the
+                // source's filter/selection.
+                let mut affected = vec![target.clone()];
+                self.collect_downstream(target, &mut affected);
+                Ok(affected)
+            }
+            Interaction::Discard { viz } => {
+                if self.nodes.remove(viz).is_none() {
+                    return Err(CoreError::UnknownViz(viz.clone()));
+                }
+                for node in self.nodes.values_mut() {
+                    node.targets.retain(|t| t != viz);
+                }
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Whether `to` is reachable from `from` following links.
+    fn reachable(&self, from: &str, to: &str) -> bool {
+        let mut stack = vec![from.to_string()];
+        let mut visited = Vec::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if visited.contains(&n) {
+                continue;
+            }
+            visited.push(n.clone());
+            if let Some(node) = self.nodes.get(&n) {
+                stack.extend(node.targets.iter().cloned());
+            }
+        }
+        false
+    }
+
+    /// Appends all vizs reachable downstream of `name` (excluding `name`
+    /// itself unless re-reached), deduplicated, in BFS order.
+    fn collect_downstream(&self, name: &str, out: &mut Vec<String>) {
+        let mut queue: Vec<&str> = match self.nodes.get(name) {
+            Some(n) => n.targets.iter().map(String::as_str).collect(),
+            None => return,
+        };
+        let mut qi = 0;
+        while qi < queue.len() {
+            let current = queue[qi];
+            qi += 1;
+            if out.iter().any(|o| o == current) {
+                continue;
+            }
+            out.push(current.to_string());
+            if let Some(n) = self.nodes.get(current) {
+                queue.extend(n.targets.iter().map(String::as_str));
+            }
+        }
+    }
+
+    /// Direct upstream sources of `name` (vizs that link *into* it).
+    fn sources_of(&self, name: &str) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.targets.iter().any(|t| t == name))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Builds the fully-composed query for a live viz: its own filter, AND
+    /// the filter+selection of every (transitively) upstream linked viz.
+    pub fn query_for(&self, name: &str) -> Result<Query, CoreError> {
+        let node = self
+            .nodes
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownViz(name.to_string()))?;
+        let mut filter = node.spec.filter.clone();
+
+        // Walk upstream breadth-first, visited-guarded.
+        let mut queue: Vec<&str> = self.sources_of(name);
+        let mut visited: Vec<&str> = vec![name];
+        let mut qi = 0;
+        while qi < queue.len() {
+            let current = queue[qi];
+            qi += 1;
+            if visited.contains(&current) {
+                continue;
+            }
+            visited.push(current);
+            let src = self.nodes.get(current).expect("graph is consistent");
+            if let Some(f) = &src.spec.filter {
+                filter = Some(FilterExpr::and_opt(filter, f.clone()));
+            }
+            if let Some(sel) = &src.selection {
+                if let Some(pred) = selection_to_filter(&src.spec, sel) {
+                    filter = Some(FilterExpr::and_opt(filter, pred));
+                }
+            }
+            queue.extend(self.sources_of(current));
+        }
+
+        Ok(Query::for_viz(&node.spec, filter))
+    }
+
+    /// Live viz names in deterministic order.
+    pub fn viz_names(&self) -> Vec<&str> {
+        self.nodes.keys().map(String::as_str).collect()
+    }
+}
+
+/// Translates a brushed selection on a viz into a filter usable by linked
+/// targets: OR over selected bins, AND over that bin's per-dimension
+/// conditions (paper Figure 4's `WHERE` clauses).
+pub fn selection_to_filter(spec: &VizSpec, selection: &Selection) -> Option<FilterExpr> {
+    let mut bin_exprs = Vec::with_capacity(selection.bins.len());
+    for bin in &selection.bins {
+        let mut conds = Vec::with_capacity(bin.len());
+        for (dim_idx, coord) in bin.iter().enumerate() {
+            let bindef = spec.binning.get(dim_idx)?;
+            let pred = match (bindef, coord) {
+                (BinDef::Nominal { dimension }, SelCoord::Category(value)) => Predicate::In {
+                    column: dimension.clone(),
+                    values: vec![value.clone()],
+                },
+                (
+                    BinDef::Width {
+                        dimension,
+                        width,
+                        anchor,
+                    },
+                    SelCoord::Bucket(idx),
+                ) => Predicate::Range {
+                    column: dimension.clone(),
+                    min: anchor + *idx as f64 * width,
+                    max: anchor + (*idx + 1) as f64 * width,
+                },
+                // Count-based bins require the data min/max; the driver
+                // resolves Count binnings to Width binnings before queries
+                // reach this point, so reaching here is a caller bug.
+                (BinDef::Count { .. }, _) => return None,
+                // Coordinate kind mismatch: selection doesn't fit the spec.
+                _ => return None,
+            };
+            conds.push(FilterExpr::Pred(pred));
+        }
+        bin_exprs.push(if conds.len() == 1 {
+            conds.pop().expect("one condition")
+        } else {
+            FilterExpr::And(conds)
+        });
+    }
+    match bin_exprs.len() {
+        0 => None,
+        1 => Some(bin_exprs.pop().expect("one bin")),
+        _ => Some(FilterExpr::Or(bin_exprs)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AggregateSpec;
+
+    fn viz(name: &str) -> VizSpec {
+        VizSpec::new(
+            name,
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        )
+    }
+
+    fn quant_viz(name: &str) -> VizSpec {
+        VizSpec::new(
+            name,
+            "flights",
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            }],
+            vec![AggregateSpec::count()],
+        )
+    }
+
+    fn create(g: &mut VizGraph, spec: VizSpec) -> Vec<String> {
+        g.apply(&Interaction::CreateViz { viz: spec }).unwrap()
+    }
+
+    fn link(g: &mut VizGraph, s: &str, t: &str) -> Vec<String> {
+        g.apply(&Interaction::Link {
+            source: s.into(),
+            target: t.into(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn create_affects_only_itself() {
+        let mut g = VizGraph::new();
+        assert_eq!(create(&mut g, viz("a")), vec!["a"]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut g = VizGraph::new();
+        create(&mut g, viz("a"));
+        assert!(matches!(
+            g.apply(&Interaction::CreateViz { viz: viz("a") }),
+            Err(CoreError::DuplicateViz(_))
+        ));
+    }
+
+    #[test]
+    fn filter_affects_self_and_downstream() {
+        let mut g = VizGraph::new();
+        create(&mut g, viz("a"));
+        create(&mut g, viz("b"));
+        create(&mut g, viz("c"));
+        link(&mut g, "a", "b");
+        link(&mut g, "b", "c");
+        let affected = g
+            .apply(&Interaction::SetFilter {
+                viz: "a".into(),
+                filter: None,
+            })
+            .unwrap();
+        assert_eq!(affected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn select_affects_only_downstream() {
+        let mut g = VizGraph::new();
+        create(&mut g, viz("a"));
+        create(&mut g, viz("b"));
+        link(&mut g, "a", "b");
+        let affected = g
+            .apply(&Interaction::Select {
+                viz: "a".into(),
+                selection: Some(Selection {
+                    bins: vec![vec![SelCoord::Category("AA".into())]],
+                }),
+            })
+            .unwrap();
+        assert_eq!(affected, vec!["b"]);
+    }
+
+    #[test]
+    fn one_to_n_linking_fans_out() {
+        // Figure 3c: selection on one source updates N targets.
+        let mut g = VizGraph::new();
+        create(&mut g, viz("src"));
+        for t in ["t1", "t2", "t3"] {
+            create(&mut g, viz(t));
+            link(&mut g, "src", t);
+        }
+        let affected = g
+            .apply(&Interaction::Select {
+                viz: "src".into(),
+                selection: Some(Selection {
+                    bins: vec![vec![SelCoord::Category("AA".into())]],
+                }),
+            })
+            .unwrap();
+        assert_eq!(affected.len(), 3);
+    }
+
+    #[test]
+    fn n_to_one_linking_composes_filters() {
+        // Figure 3d: filters on any of N sources affect one target.
+        let mut g = VizGraph::new();
+        create(&mut g, viz("n1"));
+        create(&mut g, quant_viz("n2"));
+        create(&mut g, viz("target"));
+        link(&mut g, "n1", "target");
+        link(&mut g, "n2", "target");
+        g.apply(&Interaction::Select {
+            viz: "n1".into(),
+            selection: Some(Selection {
+                bins: vec![vec![SelCoord::Category("AA".into())]],
+            }),
+        })
+        .unwrap();
+        g.apply(&Interaction::Select {
+            viz: "n2".into(),
+            selection: Some(Selection {
+                bins: vec![vec![SelCoord::Bucket(2)]],
+            }),
+        })
+        .unwrap();
+        let q = g.query_for("target").unwrap();
+        // Both upstream selections must appear in the composed filter.
+        assert_eq!(q.filter_specificity(), 2);
+        let cols = q.referenced_columns();
+        assert!(cols.contains(&"dep_delay"));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = VizGraph::new();
+        create(&mut g, viz("a"));
+        create(&mut g, viz("b"));
+        link(&mut g, "a", "b");
+        assert!(matches!(
+            g.apply(&Interaction::Link {
+                source: "b".into(),
+                target: "a".into()
+            }),
+            Err(CoreError::LinkCycle { .. })
+        ));
+        // Self-link is also a cycle.
+        assert!(matches!(
+            g.apply(&Interaction::Link {
+                source: "a".into(),
+                target: "a".into()
+            }),
+            Err(CoreError::LinkCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn discard_removes_node_and_edges() {
+        let mut g = VizGraph::new();
+        create(&mut g, viz("a"));
+        create(&mut g, viz("b"));
+        link(&mut g, "a", "b");
+        g.apply(&Interaction::Discard { viz: "b".into() }).unwrap();
+        assert!(!g.contains("b"));
+        // a's edge to b is gone: filtering a affects only a.
+        let affected = g
+            .apply(&Interaction::SetFilter {
+                viz: "a".into(),
+                filter: None,
+            })
+            .unwrap();
+        assert_eq!(affected, vec!["a"]);
+    }
+
+    #[test]
+    fn selection_to_filter_quantitative_range() {
+        let spec = quant_viz("q");
+        let sel = Selection {
+            bins: vec![vec![SelCoord::Bucket(3)], vec![SelCoord::Bucket(5)]],
+        };
+        let f = selection_to_filter(&spec, &sel).unwrap();
+        match &f {
+            FilterExpr::Or(children) => {
+                assert_eq!(children.len(), 2);
+                match &children[0] {
+                    FilterExpr::Pred(Predicate::Range { min, max, .. }) => {
+                        assert_eq!(*min, 30.0);
+                        assert_eq!(*max, 40.0);
+                    }
+                    other => panic!("expected range, got {other:?}"),
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selection_on_unknown_viz_errors() {
+        let mut g = VizGraph::new();
+        assert!(matches!(
+            g.apply(&Interaction::Select {
+                viz: "nope".into(),
+                selection: None
+            }),
+            Err(CoreError::UnknownViz(_))
+        ));
+    }
+
+    #[test]
+    fn query_for_composes_transitively() {
+        let mut g = VizGraph::new();
+        let mut a = viz("a");
+        a.filter = Some(FilterExpr::Pred(Predicate::In {
+            column: "origin_state".into(),
+            values: vec!["CA".into()],
+        }));
+        create(&mut g, a);
+        create(&mut g, viz("b"));
+        create(&mut g, viz("c"));
+        link(&mut g, "a", "b");
+        link(&mut g, "b", "c");
+        let q = g.query_for("c").unwrap();
+        // a's filter propagates through b to c.
+        assert_eq!(q.filter_specificity(), 1);
+        assert!(q.referenced_columns().contains(&"origin_state"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The user interactions a workflow is made of (paper §4.3, Figure 3/4).
+
+use crate::spec::{FilterExpr, Selection, VizSpec};
+use serde::{Deserialize, Serialize};
+
+/// One simulated user interaction.
+///
+/// Workflows are sequences of these; the benchmark driver applies them to
+/// its visualization graph and derives the queries each one triggers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "interaction", rename_all = "snake_case")]
+pub enum Interaction {
+    /// Create a new visualization (triggers one query for it).
+    CreateViz {
+        /// The new viz.
+        viz: VizSpec,
+    },
+    /// Set (or clear) the filter of an existing viz. Triggers a re-query of
+    /// the viz itself and of every viz reachable through outgoing links.
+    SetFilter {
+        /// Target viz name.
+        viz: String,
+        /// New filter; `None` clears it.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        filter: Option<FilterExpr>,
+    },
+    /// Brush/select bins on a viz. Triggers re-queries of all *linked*
+    /// downstream vizs (the source keeps showing its own result).
+    Select {
+        /// Source viz name.
+        viz: String,
+        /// The selected bins; `None` clears the selection.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        selection: Option<Selection>,
+    },
+    /// Link `source` → `target`: target's queries now include source's
+    /// filter + selection (paper §2.2 "linking"; triggers a target re-query).
+    Link {
+        /// Link source viz name.
+        source: String,
+        /// Link target viz name.
+        target: String,
+    },
+    /// Remove a viz and its links (frees engine state; triggers no query).
+    Discard {
+        /// Viz to remove.
+        viz: String,
+    },
+}
+
+impl Interaction {
+    /// Short label for logs and the workflow viewer.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Interaction::CreateViz { .. } => "create_viz",
+            Interaction::SetFilter { .. } => "set_filter",
+            Interaction::Select { .. } => "select",
+            Interaction::Link { .. } => "link",
+            Interaction::Discard { .. } => "discard",
+        }
+    }
+
+    /// The primary viz this interaction manipulates.
+    pub fn subject(&self) -> &str {
+        match self {
+            Interaction::CreateViz { viz } => &viz.name,
+            Interaction::SetFilter { viz, .. }
+            | Interaction::Select { viz, .. }
+            | Interaction::Discard { viz } => viz,
+            Interaction::Link { source, .. } => source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggregateSpec, BinDef};
+
+    fn viz(name: &str) -> VizSpec {
+        VizSpec::new(
+            name,
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        )
+    }
+
+    #[test]
+    fn kinds_and_subjects() {
+        let i = Interaction::CreateViz { viz: viz("viz_0") };
+        assert_eq!(i.kind(), "create_viz");
+        assert_eq!(i.subject(), "viz_0");
+
+        let l = Interaction::Link {
+            source: "a".into(),
+            target: "b".into(),
+        };
+        assert_eq!(l.kind(), "link");
+        assert_eq!(l.subject(), "a");
+    }
+
+    #[test]
+    fn interaction_json_is_tagged() {
+        let i = Interaction::Discard {
+            viz: "viz_3".into(),
+        };
+        let js = serde_json::to_value(&i).unwrap();
+        assert_eq!(js["interaction"], "discard");
+        assert_eq!(js["viz"], "viz_3");
+        let back: Interaction = serde_json::from_value(js).unwrap();
+        assert_eq!(i, back);
+    }
+
+    #[test]
+    fn create_viz_roundtrip() {
+        let i = Interaction::CreateViz { viz: viz("viz_1") };
+        let js = serde_json::to_string(&i).unwrap();
+        let back: Interaction = serde_json::from_str(&js).unwrap();
+        assert_eq!(i, back);
+    }
+}

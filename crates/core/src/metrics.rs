@@ -1,0 +1,426 @@
+//! The quality metrics of paper §4.7.
+//!
+//! All metrics compare a delivered [`AggResult`] against the ground truth
+//! for the same query. When a query delivered no result (time requirement
+//! violated with nothing fetchable), the conventions follow the paper:
+//! missing bins = 1, and error metrics are undefined (`None` here, empty
+//! cells in reports).
+
+use crate::result::{AggResult, BinKey};
+use serde::{Deserialize, Serialize};
+
+/// Evaluation results for a single query (one row of the detailed report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Ratio of ground-truth bins with no delivered result (§4.7).
+    pub missing_bins: f64,
+    /// Bins delivered by the system (Table 1 `bins delivered`).
+    pub bins_delivered: usize,
+    /// Bins in the ground truth (Table 1 `bins in gt`).
+    pub bins_in_gt: usize,
+    /// Mean relative error over delivered bins with nonzero truth.
+    pub rel_error_avg: Option<f64>,
+    /// Standard deviation of those relative errors.
+    pub rel_error_stdev: Option<f64>,
+    /// Symmetric mean absolute percentage error (the paper's suggested
+    /// alternative, defined at zero truth).
+    pub smape: Option<f64>,
+    /// Cosine distance between delivered and true bin-value vectors, missing
+    /// bins zero-filled (§4.7).
+    pub cosine_distance: Option<f64>,
+    /// Mean relative margin of error over delivered bins.
+    pub margin_avg: Option<f64>,
+    /// Standard deviation of relative margins.
+    pub margin_stdev: Option<f64>,
+    /// Number of delivered per-bin values outside their margin (Table 1
+    /// `bins ofm`).
+    pub bins_out_of_margin: usize,
+    /// Sum of delivered values / sum of true values over delivered bins.
+    pub bias: Option<f64>,
+}
+
+impl Metrics {
+    /// Metrics for a query that delivered nothing: everything is missing.
+    pub fn all_missing(ground_truth: &AggResult) -> Metrics {
+        Metrics {
+            missing_bins: 1.0,
+            bins_delivered: 0,
+            bins_in_gt: ground_truth.bins_delivered(),
+            rel_error_avg: None,
+            rel_error_stdev: None,
+            smape: None,
+            cosine_distance: None,
+            margin_avg: None,
+            margin_stdev: None,
+            bins_out_of_margin: 0,
+            bias: None,
+        }
+    }
+
+    /// Computes all §4.7 metrics for `result` against `ground_truth`.
+    ///
+    /// With multiple aggregates per query, per-bin values are compared
+    /// component-wise and pooled into the same vectors, mirroring the
+    /// paper's per-query reporting (Table 1 lists one row per query, with
+    /// `rel_error_avg` the mean across all bins of the result).
+    pub fn evaluate(result: &AggResult, ground_truth: &AggResult) -> Metrics {
+        let gt_bins = ground_truth.bins_delivered();
+        let mut delivered_in_gt = 0usize;
+
+        let mut rel_errors: Vec<f64> = Vec::new();
+        let mut smape_terms: Vec<f64> = Vec::new();
+        let mut margins_rel: Vec<f64> = Vec::new();
+        let mut out_of_margin = 0usize;
+        let mut sum_f = 0.0f64;
+        let mut sum_a = 0.0f64;
+        // Dot products for cosine distance over the union of bins
+        // (missing entries contribute zero).
+        let mut dot = 0.0f64;
+        let mut norm_f = 0.0f64;
+        let mut norm_a = 0.0f64;
+
+        for (key, gt_stats) in &ground_truth.bins {
+            let res_stats = result.bins.get(key);
+            if res_stats.is_some() {
+                delivered_in_gt += 1;
+            }
+            for (i, &a) in gt_stats.values.iter().enumerate() {
+                let f = res_stats
+                    .and_then(|s| s.values.get(i).copied())
+                    .unwrap_or(0.0);
+                dot += f * a;
+                norm_f += f * f;
+                norm_a += a * a;
+                if let Some(s) = res_stats {
+                    let f = s.values.get(i).copied().unwrap_or(0.0);
+                    if a != 0.0 {
+                        rel_errors.push((f - a).abs() / a.abs());
+                    }
+                    let denom = f.abs() + a.abs();
+                    smape_terms.push(if denom == 0.0 {
+                        0.0
+                    } else {
+                        (f - a).abs() / denom
+                    });
+                    let margin = s.margins.get(i).copied().unwrap_or(0.0);
+                    if f != 0.0 {
+                        margins_rel.push(margin / f.abs());
+                    }
+                    // Exact engines report zero margins and exact values;
+                    // only estimators can be "out of margin".
+                    if !result.exact && (f - a).abs() > margin {
+                        out_of_margin += 1;
+                    }
+                    sum_f += f;
+                    sum_a += a;
+                }
+            }
+        }
+
+        // Bins the system delivered that are *not* in the ground truth
+        // (possible for estimators that hallucinate a bin from a sampling
+        // artifact) count against cosine similarity.
+        for (key, s) in &result.bins {
+            if !ground_truth.bins.contains_key(key) {
+                for &f in &s.values {
+                    norm_f += f * f;
+                }
+            }
+        }
+
+        let missing_bins = if gt_bins == 0 {
+            0.0
+        } else {
+            (gt_bins - delivered_in_gt) as f64 / gt_bins as f64
+        };
+
+        let cosine_distance = if norm_f <= 0.0 || norm_a <= 0.0 {
+            // Degenerate vectors: identical zeros = distance 0, else 1.
+            if norm_f == norm_a {
+                Some(0.0)
+            } else {
+                Some(1.0)
+            }
+        } else {
+            Some((1.0 - dot / (norm_f.sqrt() * norm_a.sqrt())).clamp(0.0, 1.0))
+        };
+
+        Metrics {
+            missing_bins,
+            bins_delivered: result.bins_delivered(),
+            bins_in_gt: gt_bins,
+            rel_error_avg: mean(&rel_errors),
+            rel_error_stdev: stdev(&rel_errors),
+            smape: mean(&smape_terms),
+            cosine_distance,
+            margin_avg: mean(&margins_rel),
+            margin_stdev: stdev(&margins_rel),
+            bins_out_of_margin: out_of_margin,
+            bias: if sum_a != 0.0 {
+                Some(sum_f / sum_a)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Lists the ground-truth bins the result failed to deliver (used by the
+    /// think-time experiment to show which bins speculation recovered).
+    pub fn missing_bin_keys(result: &AggResult, ground_truth: &AggResult) -> Vec<BinKey> {
+        let mut keys: Vec<BinKey> = ground_truth
+            .bins
+            .keys()
+            .filter(|k| !result.bins.contains_key(*k))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Mean of a slice; `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` when empty.
+pub fn stdev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Median of a slice; `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric series"));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    })
+}
+
+/// Standard normal quantile function (inverse CDF).
+///
+/// Acklam's rational approximation; max absolute error ≈ 1.15e-9, far below
+/// anything that matters for confidence-interval z-values.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{BinCoord, BinStats};
+
+    fn key(i: i64) -> BinKey {
+        BinKey::d1(BinCoord::Bucket(i))
+    }
+
+    fn gt_three_bins() -> AggResult {
+        let mut gt = AggResult::empty_exact();
+        gt.insert(key(0), BinStats::exact(vec![10.0]));
+        gt.insert(key(1), BinStats::exact(vec![20.0]));
+        gt.insert(key(2), BinStats::exact(vec![30.0]));
+        gt
+    }
+
+    #[test]
+    fn perfect_result_scores_zero_error() {
+        let gt = gt_three_bins();
+        let m = Metrics::evaluate(&gt, &gt);
+        assert_eq!(m.missing_bins, 0.0);
+        assert_eq!(m.rel_error_avg, Some(0.0));
+        assert_eq!(m.smape, Some(0.0));
+        assert!(m.cosine_distance.unwrap() < 1e-12);
+        assert_eq!(m.bias, Some(1.0));
+        assert_eq!(m.bins_out_of_margin, 0);
+    }
+
+    #[test]
+    fn missing_bins_ratio() {
+        let gt = gt_three_bins();
+        let mut r = AggResult::empty_exact();
+        r.insert(key(0), BinStats::exact(vec![10.0]));
+        let m = Metrics::evaluate(&r, &gt);
+        assert!((m.missing_bins - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.bins_delivered, 1);
+        assert_eq!(m.bins_in_gt, 3);
+    }
+
+    #[test]
+    fn relative_error_definition() {
+        let gt = gt_three_bins();
+        let mut r = AggResult::empty_exact();
+        // +10% error on one bin, exact on another.
+        r.insert(key(0), BinStats::exact(vec![11.0]));
+        r.insert(key(1), BinStats::exact(vec![20.0]));
+        let m = Metrics::evaluate(&r, &gt);
+        assert!((m.rel_error_avg.unwrap() - 0.05).abs() < 1e-12);
+        // bias over delivered bins: (11+20)/(10+20)
+        assert!((m.bias.unwrap() - 31.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_excluded_from_mre_but_in_smape() {
+        let mut gt = AggResult::empty_exact();
+        gt.insert(key(0), BinStats::exact(vec![0.0]));
+        gt.insert(key(1), BinStats::exact(vec![10.0]));
+        let mut r = AggResult::empty_exact();
+        r.insert(key(0), BinStats::exact(vec![2.0]));
+        r.insert(key(1), BinStats::exact(vec![10.0]));
+        let m = Metrics::evaluate(&r, &gt);
+        // Only bin 1 contributes to MRE.
+        assert_eq!(m.rel_error_avg, Some(0.0));
+        // SMAPE of bin 0: |2-0|/(2+0) = 1; of bin 1: 0 → mean 0.5.
+        assert!((m.smape.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_margin_counting() {
+        let mut gt = AggResult::empty_exact();
+        gt.insert(key(0), BinStats::exact(vec![10.0]));
+        gt.insert(key(1), BinStats::exact(vec![10.0]));
+        let mut r = AggResult {
+            processed_fraction: 0.5,
+            ..AggResult::default()
+        };
+        // First bin: estimate 12 ± 1 → truth 10 outside margin.
+        r.insert(key(0), BinStats::approximate(vec![12.0], vec![1.0]));
+        // Second bin: estimate 11 ± 2 → truth inside margin.
+        r.insert(key(1), BinStats::approximate(vec![11.0], vec![2.0]));
+        let m = Metrics::evaluate(&r, &gt);
+        assert_eq!(m.bins_out_of_margin, 1);
+        // mean relative margin: (1/12 + 2/11)/2
+        let expect = (1.0 / 12.0 + 2.0 / 11.0) / 2.0;
+        assert!((m.margin_avg.unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_distance_captures_shape() {
+        let gt = gt_three_bins();
+        // Same shape, scaled by 2: distance ~0 even though MRE = 1.
+        let mut scaled = AggResult::empty_exact();
+        for i in 0..3 {
+            scaled.insert(
+                key(i),
+                BinStats::exact(vec![(10.0 + 10.0 * i as f64) * 2.0]),
+            );
+        }
+        let m = Metrics::evaluate(&scaled, &gt);
+        assert!(m.cosine_distance.unwrap() < 1e-12);
+        assert!((m.rel_error_avg.unwrap() - 1.0).abs() < 1e-12);
+
+        // Orthogonal-ish: only the missing-bin shape penalty applies.
+        let mut bad = AggResult::empty_exact();
+        bad.insert(key(0), BinStats::exact(vec![100.0]));
+        let m2 = Metrics::evaluate(&bad, &gt);
+        assert!(m2.cosine_distance.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn all_missing_conventions() {
+        let gt = gt_three_bins();
+        let m = Metrics::all_missing(&gt);
+        assert_eq!(m.missing_bins, 1.0);
+        assert_eq!(m.rel_error_avg, None);
+        assert_eq!(m.bins_in_gt, 3);
+    }
+
+    #[test]
+    fn empty_ground_truth_is_not_missing() {
+        let gt = AggResult::empty_exact();
+        let r = AggResult::empty_exact();
+        let m = Metrics::evaluate(&r, &gt);
+        assert_eq!(m.missing_bins, 0.0);
+        assert_eq!(m.cosine_distance, Some(0.0));
+    }
+
+    #[test]
+    fn missing_bin_keys_sorted() {
+        let gt = gt_three_bins();
+        let mut r = AggResult::empty_exact();
+        r.insert(key(1), BinStats::exact(vec![20.0]));
+        let missing = Metrics::missing_bin_keys(&r, &gt);
+        assert_eq!(missing, vec![key(0), key(2)]);
+    }
+
+    #[test]
+    fn helpers_mean_stdev_median() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(stdev(&[1.0, 1.0]), Some(0.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-6);
+        assert!((normal_quantile(0.95) - 1.644854).abs() < 1e-6);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-6);
+        // Tail region exercises the low/high branches.
+        assert!((normal_quantile(0.001) + 3.090232).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0,1)")]
+    fn normal_quantile_rejects_bounds() {
+        normal_quantile(1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The resolved query the driver hands to system adapters.
+
+use crate::spec::{AggregateSpec, BinDef, FilterExpr, VizSpec};
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+
+/// A fully-resolved aggregate query.
+///
+/// This is what the benchmark driver sends to a [`crate::SystemAdapter`]:
+/// the viz's binning and aggregates, plus the *composed* filter — the viz's
+/// own filter AND-combined with the filters/selections propagated from all
+/// linked upstream visualizations (paper §2.2 "linking").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Name of the visualization this query refreshes.
+    pub viz_name: String,
+    /// Source table name.
+    pub source: String,
+    /// Binning definitions (1 or 2).
+    pub binning: Vec<BinDef>,
+    /// Aggregates per bin.
+    pub aggregates: Vec<AggregateSpec>,
+    /// Composed filter, if any.
+    pub filter: Option<FilterExpr>,
+}
+
+impl Query {
+    /// Builds a query for a viz with an already-composed filter.
+    pub fn for_viz(spec: &VizSpec, filter: Option<FilterExpr>) -> Self {
+        Query {
+            viz_name: spec.name.clone(),
+            source: spec.source.clone(),
+            binning: spec.binning.clone(),
+            aggregates: spec.aggregates.clone(),
+            filter,
+        }
+    }
+
+    /// A canonical, human-readable key identifying the *semantics* of the
+    /// query (binning + aggregates + filter + source), independent of which
+    /// viz or interaction issued it. Used for ground-truth caching and
+    /// result reuse.
+    pub fn canonical_key(&self) -> String {
+        // serde_json's field ordering is declaration order, which is stable.
+        let mut key = String::with_capacity(128);
+        key.push_str(&self.source);
+        key.push('|');
+        key.push_str(&serde_json::to_string(&self.binning).expect("binning serializes"));
+        key.push('|');
+        key.push_str(&serde_json::to_string(&self.aggregates).expect("aggregates serialize"));
+        key.push('|');
+        match &self.filter {
+            Some(f) => {
+                key.push_str(&serde_json::to_string(f).expect("filter serializes"));
+            }
+            None => key.push_str("null"),
+        }
+        key
+    }
+
+    /// A 64-bit fingerprint of [`Self::canonical_key`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        self.canonical_key().hash(&mut h);
+        h.finish()
+    }
+
+    /// All columns the query touches (binning dims + measures + filters).
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut cols: Vec<&str> = self.binning.iter().map(BinDef::dimension).collect();
+        for a in &self.aggregates {
+            if let Some(d) = &a.dimension {
+                cols.push(d);
+            }
+        }
+        if let Some(f) = &self.filter {
+            cols.extend(f.columns());
+        }
+        cols
+    }
+
+    /// Number of leaf filter predicates (the specificity proxy of Exp 4).
+    pub fn filter_specificity(&self) -> usize {
+        self.filter.as_ref().map_or(0, FilterExpr::num_predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggFunc, Predicate};
+
+    fn viz() -> VizSpec {
+        VizSpec::new(
+            "viz_1",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        )
+    }
+
+    fn range(col: &str, min: f64, max: f64) -> FilterExpr {
+        FilterExpr::pred(Predicate::Range {
+            column: col.into(),
+            min,
+            max,
+        })
+    }
+
+    #[test]
+    fn fingerprint_ignores_viz_name() {
+        let q1 = Query::for_viz(&viz(), None);
+        let mut v2 = viz();
+        v2.name = "viz_99".into();
+        let q2 = Query::for_viz(&v2, None);
+        assert_eq!(q1.fingerprint(), q2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_filters() {
+        let q1 = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
+        let q2 = Query::for_viz(&viz(), Some(range("distance", 0.0, 600.0)));
+        let q3 = Query::for_viz(&viz(), None);
+        assert_ne!(q1.fingerprint(), q2.fingerprint());
+        assert_ne!(q1.fingerprint(), q3.fingerprint());
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_parts() {
+        let q = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
+        let cols = q.referenced_columns();
+        assert!(cols.contains(&"carrier"));
+        assert!(cols.contains(&"dep_delay"));
+        assert!(cols.contains(&"distance"));
+    }
+
+    #[test]
+    fn specificity_counts_predicates() {
+        let f = range("a", 0.0, 1.0).and(range("b", 0.0, 1.0));
+        let q = Query::for_viz(&viz(), Some(f));
+        assert_eq!(q.filter_specificity(), 2);
+        assert_eq!(Query::for_viz(&viz(), None).filter_specificity(), 0);
+    }
+
+    #[test]
+    fn query_serde_roundtrip() {
+        let q = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
+        let js = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&js).unwrap();
+        assert_eq!(q, back);
+    }
+}

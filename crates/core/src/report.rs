@@ -1,0 +1,580 @@
+//! Benchmark reports (paper §4.8): the detailed per-query report (Table 1)
+//! and the aggregated summary report (Figure 5).
+
+use crate::driver::{GroundTruthProvider, WorkflowOutcome};
+use crate::metrics::{mean, median, Metrics};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One row of the detailed report — the columns of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetailedRow {
+    /// Query identifier within the run.
+    pub id: usize,
+    /// Index of the triggering interaction.
+    pub interaction: usize,
+    /// Visualization name.
+    pub viz_name: String,
+    /// System (adapter) name — Table 1's `driver` column.
+    pub driver: String,
+    /// Data scale label.
+    pub data_size: String,
+    /// Think time setting, ms.
+    pub think_time: u64,
+    /// Time requirement setting, ms.
+    pub time_req: u64,
+    /// Workflow name.
+    pub workflow: String,
+    /// Workflow type label.
+    pub workflow_kind: String,
+    /// Query start, ms since workflow start.
+    pub start_time: f64,
+    /// Query end (completion or cancellation), ms since workflow start.
+    pub end_time: f64,
+    /// Whether the time requirement was violated.
+    pub tr_violated: bool,
+    /// Number of binning dimensions.
+    pub bin_dims: usize,
+    /// Binning type label (e.g. `"nominal quantitative"`).
+    pub binning_type: String,
+    /// Aggregate type label (e.g. `"avg"`).
+    pub agg_type: String,
+    /// Number of concurrently issued queries for this interaction.
+    pub concurrent: usize,
+    /// Number of leaf filter predicates (specificity; Exp 4).
+    pub filter_specificity: usize,
+    /// Quality metrics vs ground truth.
+    #[serde(flatten)]
+    pub metrics: Metrics,
+}
+
+/// The detailed report: one row per executed query.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetailedReport {
+    /// All rows, in execution order.
+    pub rows: Vec<DetailedRow>,
+}
+
+impl DetailedReport {
+    /// Evaluates a workflow outcome against ground truth, producing rows.
+    pub fn from_outcome(
+        outcome: &WorkflowOutcome,
+        ground_truth: &mut dyn GroundTruthProvider,
+    ) -> DetailedReport {
+        let mut rows = Vec::with_capacity(outcome.query_results.len());
+        for m in &outcome.query_results {
+            let gt = ground_truth.ground_truth(&m.query);
+            let metrics = match &m.result {
+                Some(result) => Metrics::evaluate(result, &gt),
+                None => Metrics::all_missing(&gt),
+            };
+            rows.push(DetailedRow {
+                id: m.query_id,
+                interaction: m.interaction_id,
+                viz_name: m.viz_name.clone(),
+                driver: outcome.system.clone(),
+                data_size: outcome.settings.data_scale.label().to_string(),
+                think_time: outcome.settings.think_time_ms,
+                time_req: outcome.settings.time_requirement_ms,
+                workflow: outcome.workflow_name.clone(),
+                workflow_kind: outcome.workflow_kind.clone(),
+                start_time: m.start_ms,
+                end_time: m.end_ms,
+                tr_violated: m.tr_violated,
+                bin_dims: m.query.binning.len(),
+                binning_type: m
+                    .query
+                    .binning
+                    .iter()
+                    .map(crate::spec::BinDef::kind_label)
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                agg_type: m
+                    .query
+                    .aggregates
+                    .iter()
+                    .map(|a| a.func.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                concurrent: m.concurrent,
+                filter_specificity: m.query.filter_specificity(),
+                metrics,
+            });
+        }
+        DetailedReport { rows }
+    }
+
+    /// Merges several reports (e.g. one per workflow) into one.
+    pub fn merged(reports: impl IntoIterator<Item = DetailedReport>) -> DetailedReport {
+        let mut rows = Vec::new();
+        for r in reports {
+            rows.extend(r.rows);
+        }
+        DetailedReport { rows }
+    }
+
+    /// Serializes the report as CSV with a header row (Table 1 layout).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "id,interaction,viz_name,driver,data_size,think_time,time_req,workflow,\
+             start_time,end_time,tr_violated,bin_dims,binning_type,agg_type,bins_ofm,\
+             bins_delivered,bins_in_gt,rel_error_avg,rel_error_stdev,missing_bins,\
+             cosine_distance,margin_avg,margin_stdev\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{:.0},{:.0},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                r.id,
+                r.interaction,
+                r.viz_name,
+                r.driver,
+                r.data_size,
+                r.think_time,
+                r.time_req,
+                r.workflow,
+                r.start_time,
+                r.end_time,
+                if r.tr_violated { "TRUE" } else { "FALSE" },
+                r.bin_dims,
+                r.binning_type,
+                r.agg_type,
+                r.metrics.bins_out_of_margin,
+                r.metrics.bins_delivered,
+                r.metrics.bins_in_gt,
+                fmt_opt(r.metrics.rel_error_avg),
+                fmt_opt(r.metrics.rel_error_stdev),
+                format_args!("{:.2}", r.metrics.missing_bins),
+                fmt_opt(r.metrics.cosine_distance),
+                fmt_opt(r.metrics.margin_avg),
+                fmt_opt(r.metrics.margin_stdev),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => String::new(),
+    }
+}
+
+/// One aggregated row of the summary report: a (system, TR, workflow-kind)
+/// cell of Figure 5 / Figure 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// System name.
+    pub system: String,
+    /// Time requirement, ms.
+    pub time_req: u64,
+    /// Workflow kind, or `"all"` when pooled.
+    pub workflow_kind: String,
+    /// Number of queries in the cell.
+    pub queries: usize,
+    /// Percentage (0–100) of queries that violated the TR.
+    pub pct_tr_violated: f64,
+    /// Mean missing-bins ratio (0–1), violated queries counting as 1.
+    pub mean_missing_bins: f64,
+    /// Median of per-query mean relative errors (non-violated queries).
+    pub median_mre: Option<f64>,
+    /// Mean of per-query mean relative errors (non-violated queries).
+    pub mean_mre: Option<f64>,
+    /// Median of per-query mean relative margins.
+    pub median_margin: Option<f64>,
+    /// Mean cosine distance.
+    pub mean_cosine: Option<f64>,
+    /// Area above the MRE CDF truncated at 100% — equals `E[min(MRE, 1)]`;
+    /// smaller is better (Figure 5's "% above the CDF").
+    pub area_above_cdf: Option<f64>,
+}
+
+/// The aggregated summary report (paper Figure 5).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryReport {
+    /// Aggregated rows.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl SummaryReport {
+    /// Aggregates detailed rows per `(system, TR)` pooling workflow kinds.
+    pub fn from_detailed(detailed: &DetailedReport) -> SummaryReport {
+        Self::aggregate(detailed, false)
+    }
+
+    /// Aggregates per `(system, TR, workflow kind)` (Figure 6d).
+    pub fn from_detailed_by_kind(detailed: &DetailedReport) -> SummaryReport {
+        Self::aggregate(detailed, true)
+    }
+
+    fn aggregate(detailed: &DetailedReport, by_kind: bool) -> SummaryReport {
+        // Group keys in first-seen order for stable output.
+        let mut keys: Vec<(String, u64, String)> = Vec::new();
+        for r in &detailed.rows {
+            let kind = if by_kind {
+                r.workflow_kind.clone()
+            } else {
+                "all".to_string()
+            };
+            let key = (r.driver.clone(), r.time_req, kind);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+
+        let mut rows = Vec::with_capacity(keys.len());
+        for (system, time_req, kind) in keys {
+            let group: Vec<&DetailedRow> = detailed
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.driver == system
+                        && r.time_req == time_req
+                        && (!by_kind || r.workflow_kind == kind)
+                })
+                .collect();
+            let n = group.len();
+            let violated = group.iter().filter(|r| r.tr_violated).count();
+            let missing: Vec<f64> = group.iter().map(|r| r.metrics.missing_bins).collect();
+            let mres: Vec<f64> = group
+                .iter()
+                .filter(|r| !r.tr_violated)
+                .filter_map(|r| r.metrics.rel_error_avg)
+                .collect();
+            let margins: Vec<f64> = group
+                .iter()
+                .filter(|r| !r.tr_violated)
+                .filter_map(|r| r.metrics.margin_avg)
+                .collect();
+            let cosines: Vec<f64> = group
+                .iter()
+                .filter(|r| !r.tr_violated)
+                .filter_map(|r| r.metrics.cosine_distance)
+                .collect();
+            let clipped: Vec<f64> = mres.iter().map(|&e| e.min(1.0)).collect();
+            rows.push(SummaryRow {
+                system,
+                time_req,
+                workflow_kind: kind,
+                queries: n,
+                pct_tr_violated: if n == 0 {
+                    0.0
+                } else {
+                    violated as f64 / n as f64 * 100.0
+                },
+                mean_missing_bins: mean(&missing).unwrap_or(0.0),
+                median_mre: median(&mres),
+                mean_mre: mean(&mres),
+                median_margin: median(&margins),
+                mean_cosine: mean(&cosines),
+                area_above_cdf: mean(&clipped),
+            });
+        }
+        SummaryReport { rows }
+    }
+
+    /// The empirical CDF of per-query MREs for one `(system, TR)` cell,
+    /// truncated at 100% — the curve plotted in Figure 5. Returns sorted
+    /// `(error, cumulative_fraction)` points.
+    pub fn mre_cdf(detailed: &DetailedReport, system: &str, time_req: u64) -> Vec<(f64, f64)> {
+        let mut errs: Vec<f64> = detailed
+            .rows
+            .iter()
+            .filter(|r| r.driver == system && r.time_req == time_req && !r.tr_violated)
+            .filter_map(|r| r.metrics.rel_error_avg)
+            .map(|e| e.min(1.0))
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN errors"));
+        let n = errs.len();
+        errs.into_iter()
+            .enumerate()
+            .map(|(i, e)| (e, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Renders the report as an aligned text table (the stdout artifact the
+    /// experiment binaries print).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:<14} {:>7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "system",
+            "TR(ms)",
+            "workflow",
+            "queries",
+            "%TRviol",
+            "missing",
+            "medMRE",
+            "medMargin",
+            "cosine",
+            "areaCDF"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:<14} {:>7} {:>8.1} {:>9.3} {:>9} {:>9} {:>9} {:>9}",
+                r.system,
+                r.time_req,
+                r.workflow_kind,
+                r.queries,
+                r.pct_tr_violated,
+                r.mean_missing_bins,
+                fmt_cell(r.median_mre),
+                fmt_cell(r.median_margin),
+                fmt_cell(r.mean_cosine),
+                fmt_cell(r.area_above_cdf),
+            );
+        }
+        out
+    }
+
+    /// Renders one Figure-5-style MRE CDF as an ASCII plot: x = mean
+    /// relative error truncated at 100%, y = fraction of queries.
+    pub fn render_cdf_ascii(detailed: &DetailedReport, system: &str, time_req: u64) -> String {
+        const WIDTH: usize = 50;
+        const HEIGHT: usize = 10;
+        let cdf = Self::mre_cdf(detailed, system, time_req);
+        let mut out = format!("MRE CDF — {system} @ TR={time_req} ms\n");
+        if cdf.is_empty() {
+            out.push_str("  (no completed queries)\n");
+            return out;
+        }
+        // grid[y][x], y=0 at the top (fraction 1.0).
+        let mut grid = vec![[b' '; WIDTH]; HEIGHT];
+        let mut frac_at = [0.0f64; WIDTH];
+        for (err, frac) in &cdf {
+            let x = ((err / 1.0) * (WIDTH - 1) as f64).round() as usize;
+            // CDF is monotone: keep the max fraction reaching each column.
+            for f in frac_at.iter_mut().skip(x.min(WIDTH - 1)) {
+                *f = f.max(*frac);
+            }
+        }
+        for (x, &frac) in frac_at.iter().enumerate() {
+            if frac <= 0.0 {
+                continue;
+            }
+            let y = ((1.0 - frac) * (HEIGHT - 1) as f64).round() as usize;
+            grid[y.min(HEIGHT - 1)][x] = b'#';
+        }
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                "1.0"
+            } else if i == HEIGHT - 1 {
+                "0.0"
+            } else {
+                "   "
+            };
+            let _ = writeln!(out, "{label} |{}", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "    +{}", "-".repeat(WIDTH));
+        let _ = writeln!(out, "     0%{}100%", " ".repeat(WIDTH - 7));
+        out
+    }
+
+    /// Renders the report as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::from(
+            "| system | TR (ms) | workflow | queries | % TR violated | missing bins | \
+             median MRE | median margin | cosine | area CDF |\n\
+             |---|---:|---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.1} | {:.3} | {} | {} | {} | {} |",
+                r.system,
+                r.time_req,
+                r.workflow_kind,
+                r.queries,
+                r.pct_tr_violated,
+                r.mean_missing_bins,
+                fmt_cell(r.median_mre),
+                fmt_cell(r.median_margin),
+                fmt_cell(r.mean_cosine),
+                fmt_cell(r.area_above_cdf),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(mre: Option<f64>, missing: f64) -> Metrics {
+        Metrics {
+            missing_bins: missing,
+            bins_delivered: 10,
+            bins_in_gt: 10,
+            rel_error_avg: mre,
+            rel_error_stdev: Some(0.0),
+            smape: mre,
+            cosine_distance: Some(0.05),
+            margin_avg: Some(0.1),
+            margin_stdev: Some(0.0),
+            bins_out_of_margin: 0,
+            bias: Some(1.0),
+        }
+    }
+
+    fn row(system: &str, tr: u64, kind: &str, violated: bool, mre: Option<f64>) -> DetailedRow {
+        DetailedRow {
+            id: 0,
+            interaction: 0,
+            viz_name: "viz_0".into(),
+            driver: system.into(),
+            data_size: "M".into(),
+            think_time: 1000,
+            time_req: tr,
+            workflow: "wf_0".into(),
+            workflow_kind: kind.into(),
+            start_time: 0.0,
+            end_time: 100.0,
+            tr_violated: violated,
+            bin_dims: 1,
+            binning_type: "nominal".into(),
+            agg_type: "count".into(),
+            concurrent: 1,
+            filter_specificity: 0,
+            metrics: metrics(mre, if violated { 1.0 } else { 0.0 }),
+        }
+    }
+
+    #[test]
+    fn summary_counts_violations_and_pools_kinds() {
+        let detailed = DetailedReport {
+            rows: vec![
+                row("exact", 500, "mixed", true, None),
+                row("exact", 500, "mixed", false, Some(0.0)),
+                row("exact", 500, "independent", false, Some(0.2)),
+                row("prog", 500, "mixed", false, Some(0.1)),
+            ],
+        };
+        let s = SummaryReport::from_detailed(&detailed);
+        assert_eq!(s.rows.len(), 2);
+        let exact = s.rows.iter().find(|r| r.system == "exact").unwrap();
+        assert_eq!(exact.queries, 3);
+        assert!((exact.pct_tr_violated - 100.0 / 3.0).abs() < 1e-9);
+        // violated query contributes 1.0 missing bins.
+        assert!((exact.mean_missing_bins - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(exact.median_mre, Some(0.1));
+    }
+
+    #[test]
+    fn summary_by_kind_separates_workflow_types() {
+        let detailed = DetailedReport {
+            rows: vec![
+                row("exact", 500, "mixed", false, Some(0.0)),
+                row("exact", 500, "independent", true, None),
+            ],
+        };
+        let s = SummaryReport::from_detailed_by_kind(&detailed);
+        assert_eq!(s.rows.len(), 2);
+        assert!(s.rows.iter().any(|r| r.workflow_kind == "independent"));
+    }
+
+    #[test]
+    fn area_above_cdf_is_clipped_mean() {
+        let detailed = DetailedReport {
+            rows: vec![
+                row("x", 500, "mixed", false, Some(0.5)),
+                row("x", 500, "mixed", false, Some(3.0)), // clips to 1.0
+            ],
+        };
+        let s = SummaryReport::from_detailed(&detailed);
+        assert!((s.rows[0].area_above_cdf.unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mre_cdf_is_monotone() {
+        let detailed = DetailedReport {
+            rows: vec![
+                row("x", 500, "mixed", false, Some(0.4)),
+                row("x", 500, "mixed", false, Some(0.1)),
+                row("x", 500, "mixed", true, Some(9.0)), // excluded: violated
+            ],
+        };
+        let cdf = SummaryReport::mre_cdf(&detailed, "x", 500);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0], (0.1, 0.5));
+        assert_eq!(cdf[1], (0.4, 1.0));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let detailed = DetailedReport {
+            rows: vec![row("exact", 500, "mixed", false, Some(0.25))],
+        };
+        let csv = detailed.to_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("id,interaction,viz_name"));
+        let data = lines.next().unwrap();
+        assert!(data.contains("FALSE"));
+        assert!(data.contains("0.25"));
+    }
+
+    #[test]
+    fn render_text_contains_rows() {
+        let detailed = DetailedReport {
+            rows: vec![row("exact", 500, "mixed", false, Some(0.25))],
+        };
+        let s = SummaryReport::from_detailed(&detailed);
+        let text = s.render_text();
+        assert!(text.contains("exact"));
+        assert!(text.contains("500"));
+    }
+
+    #[test]
+    fn cdf_ascii_renders_axes_and_curve() {
+        let detailed = DetailedReport {
+            rows: vec![
+                row("x", 500, "mixed", false, Some(0.1)),
+                row("x", 500, "mixed", false, Some(0.6)),
+            ],
+        };
+        let plot = SummaryReport::render_cdf_ascii(&detailed, "x", 500);
+        assert!(plot.contains("MRE CDF — x @ TR=500 ms"));
+        assert!(plot.contains('#'), "curve plotted");
+        assert!(plot.contains("0%"));
+        // Empty cell degrades gracefully.
+        let empty = SummaryReport::render_cdf_ascii(&detailed, "nope", 500);
+        assert!(empty.contains("no completed queries"));
+    }
+
+    #[test]
+    fn render_markdown_is_a_table() {
+        let detailed = DetailedReport {
+            rows: vec![row("exact", 500, "mixed", false, Some(0.25))],
+        };
+        let md = SummaryReport::from_detailed(&detailed).render_markdown();
+        let mut lines = md.lines();
+        assert!(lines.next().unwrap().starts_with("| system |"));
+        assert!(lines.next().unwrap().starts_with("|---"));
+        let row_line = lines.next().unwrap();
+        assert!(row_line.starts_with("| exact | 500 |"));
+        assert!(row_line.contains("0.250"));
+    }
+
+    #[test]
+    fn merged_concatenates() {
+        let a = DetailedReport {
+            rows: vec![row("x", 500, "mixed", false, Some(0.1))],
+        };
+        let b = DetailedReport {
+            rows: vec![row("y", 500, "mixed", false, Some(0.2))],
+        };
+        let m = DetailedReport::merged([a, b]);
+        assert_eq!(m.rows.len(), 2);
+    }
+}

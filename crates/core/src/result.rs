@@ -1,0 +1,198 @@
+//! Aggregate query results: binned values with optional margins of error.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// One coordinate of a bin key.
+///
+/// Nominal coordinates are dictionary codes (dictionaries are shared across
+/// an engine's derived tables, so codes are stable for a given dataset);
+/// quantitative coordinates are bin indexes `floor((x - anchor) / width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BinCoord {
+    /// Category code of a nominal binning dimension.
+    Cat(u32),
+    /// Bin index of a quantitative binning dimension.
+    Bucket(i64),
+}
+
+/// The key identifying one bin of a result (1 or 2 coordinates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BinKey(pub Vec<BinCoord>);
+
+impl BinKey {
+    /// 1-D key.
+    pub fn d1(c: BinCoord) -> Self {
+        BinKey(vec![c])
+    }
+
+    /// 2-D key.
+    pub fn d2(a: BinCoord, b: BinCoord) -> Self {
+        BinKey(vec![a, b])
+    }
+
+    /// The coordinates.
+    pub fn coords(&self) -> &[BinCoord] {
+        &self.0
+    }
+}
+
+/// Per-bin aggregate estimates.
+///
+/// `values[i]` is the estimate for the i-th aggregate of the viz spec;
+/// `margins[i]` is the absolute half-width of its confidence interval at the
+/// configured confidence level (0 for exact engines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinStats {
+    /// One estimate per aggregate.
+    pub values: Vec<f64>,
+    /// One absolute margin of error per aggregate (0 = exact).
+    pub margins: Vec<f64>,
+}
+
+impl BinStats {
+    /// Exact stats: margins are zero.
+    pub fn exact(values: Vec<f64>) -> Self {
+        let margins = vec![0.0; values.len()];
+        BinStats { values, margins }
+    }
+
+    /// Approximate stats with explicit margins.
+    pub fn approximate(values: Vec<f64>, margins: Vec<f64>) -> Self {
+        debug_assert_eq!(values.len(), margins.len());
+        BinStats { values, margins }
+    }
+}
+
+/// The result of one aggregate query: a sparse map from bin key to stats.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AggResult {
+    /// Delivered bins.
+    ///
+    /// Serialized as a list of `[key, stats]` pairs because JSON object keys
+    /// must be strings.
+    #[serde(with = "bins_as_pairs")]
+    pub bins: FxHashMap<BinKey, BinStats>,
+    /// Fraction of the underlying data processed when the snapshot was taken
+    /// (1.0 for exact/blocking engines, < 1 for progressive snapshots).
+    pub processed_fraction: f64,
+    /// True when the producing engine reports exact (not estimated) values.
+    pub exact: bool,
+}
+
+impl AggResult {
+    /// An empty exact result (e.g. a filter matching nothing).
+    pub fn empty_exact() -> Self {
+        AggResult {
+            bins: FxHashMap::default(),
+            processed_fraction: 1.0,
+            exact: true,
+        }
+    }
+
+    /// Number of delivered bins (Table 1's `bins delivered`).
+    pub fn bins_delivered(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Value of aggregate `agg` in `key`'s bin, if delivered.
+    pub fn value(&self, key: &BinKey, agg: usize) -> Option<f64> {
+        self.bins.get(key).and_then(|s| s.values.get(agg)).copied()
+    }
+
+    /// Inserts a bin (test/builder convenience).
+    pub fn insert(&mut self, key: BinKey, stats: BinStats) {
+        self.bins.insert(key, stats);
+    }
+
+    /// Bins sorted by key — deterministic iteration for reports and tests.
+    pub fn sorted_bins(&self) -> Vec<(&BinKey, &BinStats)> {
+        let mut v: Vec<_> = self.bins.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+mod bins_as_pairs {
+    //! Serde helper: bin maps as ordered `[key, stats]` pair lists.
+    use super::{BinKey, BinStats};
+    use rustc_hash::FxHashMap;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        bins: &FxHashMap<BinKey, BinStats>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Vec<(&BinKey, &BinStats)> = bins.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        pairs.serialize(ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<FxHashMap<BinKey, BinStats>, D::Error> {
+        let pairs: Vec<(BinKey, BinStats)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64) -> BinKey {
+        BinKey::d1(BinCoord::Bucket(i))
+    }
+
+    #[test]
+    fn exact_stats_have_zero_margins() {
+        let s = BinStats::exact(vec![3.0, 4.5]);
+        assert_eq!(s.margins, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let mut r = AggResult::empty_exact();
+        r.insert(key(2), BinStats::exact(vec![10.0]));
+        assert_eq!(r.value(&key(2), 0), Some(10.0));
+        assert_eq!(r.value(&key(2), 1), None);
+        assert_eq!(r.value(&key(3), 0), None);
+        assert_eq!(r.bins_delivered(), 1);
+    }
+
+    #[test]
+    fn sorted_bins_is_deterministic() {
+        let mut r = AggResult::empty_exact();
+        for i in [5, 1, 3] {
+            r.insert(key(i), BinStats::exact(vec![i as f64]));
+        }
+        let order: Vec<i64> = r
+            .sorted_bins()
+            .iter()
+            .map(|(k, _)| match k.coords()[0] {
+                BinCoord::Bucket(b) => b,
+                BinCoord::Cat(c) => i64::from(c),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn bin_key_ordering_mixes_dims() {
+        let a = BinKey::d2(BinCoord::Cat(0), BinCoord::Bucket(5));
+        let b = BinKey::d2(BinCoord::Cat(1), BinCoord::Bucket(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn result_serde_roundtrip() {
+        let mut r = AggResult::empty_exact();
+        r.insert(
+            BinKey::d2(BinCoord::Cat(1), BinCoord::Bucket(-2)),
+            BinStats::approximate(vec![1.5], vec![0.2]),
+        );
+        let js = serde_json::to_string(&r).unwrap();
+        let back: AggResult = serde_json::from_str(&js).unwrap();
+        assert_eq!(r, back);
+    }
+}

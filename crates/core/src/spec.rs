@@ -1,0 +1,444 @@
+//! The visualization / query specification model (paper Figure 4).
+//!
+//! A [`VizSpec`] describes what an IDE frontend would render: which
+//! dimensions are binned and how, and which aggregates are computed per bin.
+//! Specifications are JSON-(de)serializable, mirroring the paper's
+//! JSON-based workflow format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate functions supported by the benchmark workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum AggFunc {
+    /// `COUNT(*)` per bin.
+    Count,
+    /// `SUM(dimension)` per bin.
+    Sum,
+    /// `AVG(dimension)` per bin.
+    Avg,
+    /// `MIN(dimension)` per bin.
+    Min,
+    /// `MAX(dimension)` per bin.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL keyword for this function.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate in a viz specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// Function to apply.
+    #[serde(rename = "type")]
+    pub func: AggFunc,
+    /// Measure column; `None` only for `Count`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dimension: Option<String>,
+}
+
+impl AggregateSpec {
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        AggregateSpec {
+            func: AggFunc::Count,
+            dimension: None,
+        }
+    }
+
+    /// An aggregate over a measure column.
+    pub fn over(func: AggFunc, dimension: impl Into<String>) -> Self {
+        debug_assert!(func != AggFunc::Count, "use AggregateSpec::count()");
+        AggregateSpec {
+            func,
+            dimension: Some(dimension.into()),
+        }
+    }
+
+    /// Label used in reports, e.g. `avg(arr_delay)`.
+    pub fn label(&self) -> String {
+        match &self.dimension {
+            Some(d) => format!("{}({})", self.func, d),
+            None => format!("{}(*)", self.func),
+        }
+    }
+}
+
+/// How one dimension of a visualization is binned.
+///
+/// The paper (§2.2) distinguishes nominal binning (one bin per category) and
+/// quantitative binning, the latter defined either by a fixed bin *width*
+/// relative to a reference value ("anchor"), or by a requested bin *count*
+/// over the current min/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "lowercase")]
+pub enum BinDef {
+    /// One bin per distinct category of a nominal column.
+    Nominal {
+        /// The nominal column.
+        dimension: String,
+    },
+    /// Fixed-width binning: bin `i` covers `[anchor + i*width, anchor + (i+1)*width)`.
+    Width {
+        /// The quantitative column.
+        dimension: String,
+        /// Bin width (must be positive and finite).
+        width: f64,
+        /// Reference value at the left edge of bin 0.
+        #[serde(default)]
+        anchor: f64,
+    },
+    /// Count-based binning: `bins` equal-width bins over the column's
+    /// current `[min, max]`; requires a min/max computation first.
+    Count {
+        /// The quantitative column.
+        dimension: String,
+        /// Number of bins (≥ 1).
+        bins: u32,
+    },
+}
+
+impl BinDef {
+    /// The binned column name.
+    pub fn dimension(&self) -> &str {
+        match self {
+            BinDef::Nominal { dimension }
+            | BinDef::Width { dimension, .. }
+            | BinDef::Count { dimension, .. } => dimension,
+        }
+    }
+
+    /// Whether the binning is nominal.
+    pub fn is_nominal(&self) -> bool {
+        matches!(self, BinDef::Nominal { .. })
+    }
+
+    /// Report label: `nominal` or `quantitative` (Table 1's `binning type`).
+    pub fn kind_label(&self) -> &'static str {
+        if self.is_nominal() {
+            "nominal"
+        } else {
+            "quantitative"
+        }
+    }
+}
+
+/// A single filter predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Predicate {
+    /// `column >= min AND column < max` (half-open interval). Either bound
+    /// may be infinite.
+    Range {
+        /// Quantitative column.
+        column: String,
+        /// Inclusive lower bound (`-inf` allowed).
+        min: f64,
+        /// Exclusive upper bound (`+inf` allowed).
+        max: f64,
+    },
+    /// `column IN (values…)` for nominal columns.
+    In {
+        /// Nominal column.
+        column: String,
+        /// Accepted categories.
+        values: Vec<String>,
+    },
+}
+
+impl Predicate {
+    /// The filtered column.
+    pub fn column(&self) -> &str {
+        match self {
+            Predicate::Range { column, .. } | Predicate::In { column, .. } => column,
+        }
+    }
+}
+
+/// A boolean combination of predicates.
+// Adjacently tagged: internal tagging cannot represent newtype variants
+// holding sequences (`And(Vec<…>)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", content = "expr", rename_all = "lowercase")]
+pub enum FilterExpr {
+    /// A leaf predicate.
+    Pred(Predicate),
+    /// Conjunction (empty = TRUE).
+    And(Vec<FilterExpr>),
+    /// Disjunction (empty = FALSE).
+    Or(Vec<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// Leaf constructor.
+    pub fn pred(p: Predicate) -> Self {
+        FilterExpr::Pred(p)
+    }
+
+    /// Conjunction of two expressions, flattening nested `And`s.
+    pub fn and(self, other: FilterExpr) -> FilterExpr {
+        match (self, other) {
+            (FilterExpr::And(mut a), FilterExpr::And(b)) => {
+                a.extend(b);
+                FilterExpr::And(a)
+            }
+            (FilterExpr::And(mut a), b) => {
+                a.push(b);
+                FilterExpr::And(a)
+            }
+            (a, FilterExpr::And(mut b)) => {
+                b.insert(0, a);
+                FilterExpr::And(b)
+            }
+            (a, b) => FilterExpr::And(vec![a, b]),
+        }
+    }
+
+    /// Combines an optional filter with another expression.
+    pub fn and_opt(base: Option<FilterExpr>, extra: FilterExpr) -> FilterExpr {
+        match base {
+            Some(b) => b.and(extra),
+            None => extra,
+        }
+    }
+
+    /// All columns referenced by the expression (with duplicates).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            FilterExpr::Pred(p) => out.push(p.column()),
+            FilterExpr::And(children) | FilterExpr::Or(children) => {
+                for c in children {
+                    c.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Number of leaf predicates — the "specificity" proxy used by Exp 4.
+    pub fn num_predicates(&self) -> usize {
+        match self {
+            FilterExpr::Pred(_) => 1,
+            FilterExpr::And(children) | FilterExpr::Or(children) => {
+                children.iter().map(FilterExpr::num_predicates).sum()
+            }
+        }
+    }
+}
+
+/// The bins a user brushed/selected on a viz, expressed as per-dimension
+/// bin indexes (quantitative) or category names (nominal), one entry per
+/// binning dimension of the viz.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Selected bins; each inner vec has one coordinate per binning dim.
+    pub bins: Vec<Vec<SelCoord>>,
+}
+
+/// One coordinate of a selected bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum SelCoord {
+    /// Selected category of a nominal binning dimension.
+    Category(String),
+    /// Selected bin index of a quantitative binning dimension.
+    Bucket(i64),
+}
+
+/// A visualization specification: the unit of querying in IDEBench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VizSpec {
+    /// Unique name within a workflow (e.g. `"viz_2"`).
+    pub name: String,
+    /// Source table (always the fact/denormalized table name for v1 schemas).
+    pub source: String,
+    /// 1 or 2 binning dimensions (1D histogram / 2D binned scatter plot).
+    pub binning: Vec<BinDef>,
+    /// Aggregates computed per bin (at least one).
+    pub aggregates: Vec<AggregateSpec>,
+    /// The viz's own filter (from the UI's filter widgets), if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub filter: Option<FilterExpr>,
+}
+
+impl VizSpec {
+    /// Creates a viz spec with no filter.
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        binning: Vec<BinDef>,
+        aggregates: Vec<AggregateSpec>,
+    ) -> Self {
+        let spec = VizSpec {
+            name: name.into(),
+            source: source.into(),
+            binning,
+            aggregates,
+            filter: None,
+        };
+        debug_assert!(
+            (1..=2).contains(&spec.binning.len()),
+            "viz must bin 1 or 2 dimensions"
+        );
+        debug_assert!(!spec.aggregates.is_empty(), "viz needs an aggregate");
+        spec
+    }
+
+    /// Number of binning dimensions (Table 1's `bin dims`).
+    pub fn bin_dims(&self) -> usize {
+        self.binning.len()
+    }
+
+    /// Table 1's `binning type` label, e.g. `"nominal"` or
+    /// `"quantitative quantitative"` for a 2D quantitative binning.
+    pub fn binning_type_label(&self) -> String {
+        self.binning
+            .iter()
+            .map(BinDef::kind_label)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Table 1's `agg type` label, e.g. `"avg"` or `"count sum"`.
+    pub fn agg_type_label(&self) -> String {
+        self.aggregates
+            .iter()
+            .map(|a| a.func.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> VizSpec {
+        VizSpec::new(
+            "viz_0",
+            "flights",
+            vec![
+                BinDef::Nominal {
+                    dimension: "carrier".into(),
+                },
+                BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 10.0,
+                    anchor: 0.0,
+                },
+            ],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+            ],
+        )
+    }
+
+    #[test]
+    fn labels_match_table1_format() {
+        let s = spec();
+        assert_eq!(s.bin_dims(), 2);
+        assert_eq!(s.binning_type_label(), "nominal quantitative");
+        assert_eq!(s.agg_type_label(), "count avg");
+        assert_eq!(s.aggregates[1].label(), "avg(arr_delay)");
+    }
+
+    #[test]
+    fn filter_and_flattens() {
+        let a = FilterExpr::pred(Predicate::Range {
+            column: "x".into(),
+            min: 0.0,
+            max: 1.0,
+        });
+        let b = FilterExpr::pred(Predicate::In {
+            column: "c".into(),
+            values: vec!["AA".into()],
+        });
+        let c = a.clone().and(b.clone()).and(a.clone());
+        match &c {
+            FilterExpr::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(c.num_predicates(), 3);
+        assert_eq!(c.columns(), vec!["x", "c", "x"]);
+    }
+
+    #[test]
+    fn and_opt_uses_base_when_present() {
+        let extra = FilterExpr::pred(Predicate::Range {
+            column: "x".into(),
+            min: 0.0,
+            max: 1.0,
+        });
+        let combined = FilterExpr::and_opt(Some(extra.clone()), extra.clone());
+        assert_eq!(combined.num_predicates(), 2);
+        let alone = FilterExpr::and_opt(None, extra);
+        assert_eq!(alone.num_predicates(), 1);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let s = spec();
+        let js = serde_json::to_string_pretty(&s).unwrap();
+        let back: VizSpec = serde_json::from_str(&js).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn bindef_json_shape_matches_paper_style() {
+        let b = BinDef::Width {
+            dimension: "dep_delay".into(),
+            width: 10.0,
+            anchor: 0.0,
+        };
+        let js = serde_json::to_value(&b).unwrap();
+        assert_eq!(js["type"], "width");
+        assert_eq!(js["dimension"], "dep_delay");
+        assert_eq!(js["width"], 10.0);
+    }
+
+    #[test]
+    fn selection_serde_untagged_coords() {
+        let sel = Selection {
+            bins: vec![vec![SelCoord::Category("AA".into()), SelCoord::Bucket(3)]],
+        };
+        let js = serde_json::to_string(&sel).unwrap();
+        let back: Selection = serde_json::from_str(&js).unwrap();
+        assert_eq!(sel, back);
+    }
+
+    #[test]
+    fn agg_func_sql_names() {
+        assert_eq!(AggFunc::Count.sql_name(), "COUNT");
+        assert_eq!(AggFunc::Avg.sql_name(), "AVG");
+    }
+}

@@ -1,0 +1,197 @@
+//! Small dense-matrix helpers: covariance and Cholesky factorization.
+//!
+//! Matrices here are tiny (one row/column per dataset attribute, ~12), so a
+//! plain row-major `Vec<f64>` with O(k³) routines is the right tool — no
+//! linear-algebra dependency needed.
+
+/// A square row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Zero matrix of side `n`.
+    pub fn zeros(n: usize) -> Self {
+        SquareMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of side `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Multiplies this (lower-triangular or general) matrix by a vector.
+    pub fn mul_vec(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Lower-triangular Cholesky factor `L` with `L·Lᵀ = self`.
+    ///
+    /// The matrix must be symmetric; near-singular matrices are regularized
+    /// with a small diagonal jitter so correlation matrices estimated from
+    /// finite samples always factor.
+    pub fn cholesky(&self) -> SquareMatrix {
+        let n = self.n;
+        let mut a = self.clone();
+        // Jitter for numerical safety on rank-deficient inputs.
+        let jitter = 1e-9;
+        for i in 0..n {
+            a[(i, i)] += jitter;
+        }
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    // Clamp to keep the factorization real under rounding.
+                    l[(i, j)] = sum.max(1e-12).sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        l
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Covariance matrix of column vectors (`columns[c]` is attribute c's data).
+///
+/// All columns must share a length ≥ 2.
+pub fn covariance_matrix(columns: &[Vec<f64>]) -> SquareMatrix {
+    let k = columns.len();
+    let n = columns.first().map_or(0, Vec::len);
+    assert!(n >= 2, "covariance needs at least two observations");
+    let means: Vec<f64> = columns
+        .iter()
+        .map(|c| c.iter().sum::<f64>() / n as f64)
+        .collect();
+    let mut m = SquareMatrix::zeros(k);
+    for i in 0..k {
+        for j in i..k {
+            let mut s = 0.0;
+            for (a, b) in columns[i].iter().zip(&columns[j]) {
+                s += (a - means[i]) * (b - means[j]);
+            }
+            let cov = s / (n as f64 - 1.0);
+            m[(i, j)] = cov;
+            m[(j, i)] = cov;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_cholesky_is_identity() {
+        let i3 = SquareMatrix::identity(3);
+        let l = i3.cholesky();
+        for a in 0..3 {
+            for b in 0..3 {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((l[(a, b)] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let mut m = SquareMatrix::zeros(2);
+        m[(0, 0)] = 4.0;
+        m[(0, 1)] = 2.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 3.0;
+        let l = m.cholesky();
+        // L·Lᵀ ≈ m
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!((s - m[(i, j)]).abs() < 1e-6, "at ({i},{j})");
+            }
+        }
+        // Known factor: [[2,0],[1,sqrt(2)]]
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-6);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-6);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn near_singular_matrix_still_factors() {
+        // Perfectly correlated pair: rank 1.
+        let mut m = SquareMatrix::zeros(2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 1.0;
+        let l = m.cholesky();
+        assert!(l[(1, 1)].is_finite());
+        assert!(l[(1, 1)] >= 0.0);
+    }
+
+    #[test]
+    fn mul_vec_applies_rows() {
+        let mut m = SquareMatrix::zeros(2);
+        m[(0, 0)] = 1.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 3.0;
+        let mut out = vec![0.0; 2];
+        m.mul_vec(&[10.0, 100.0], &mut out);
+        assert_eq!(out, vec![10.0, 320.0]);
+    }
+
+    #[test]
+    fn covariance_of_correlated_columns() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        let c: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let m = covariance_matrix(&[a, b, c]);
+        // var(a) of 0..99 is 841.66…, cov(a,b) = 2·var(a).
+        assert!((m[(0, 1)] / m[(0, 0)] - 2.0).abs() < 1e-9);
+        // a and the alternating column are (nearly) uncorrelated.
+        assert!(m[(0, 2)].abs() < 2.0);
+        // Symmetry.
+        assert_eq!(m[(1, 0)], m[(0, 1)]);
+    }
+}

@@ -1,0 +1,495 @@
+//! Chunked query execution — the building block engines step.
+
+use crate::aggregate::GroupedAcc;
+use crate::resolve::ResolvedQuery;
+use idebench_core::{AggResult, CoreError, Query};
+use idebench_storage::Dataset;
+use std::sync::Arc;
+
+/// How a [`ChunkedRun`] snapshot turns accumulated state into a result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnapshotMode {
+    /// Values are exact once the scan completes (blocking engines).
+    Exact,
+    /// Values are scale-up estimates of a uniform sample of the rows
+    /// processed so far; `z` is the confidence z-value, `population` the
+    /// total row count estimates are scaled to. Snapshots are available as
+    /// soon as any row has been processed (progressive engines).
+    Estimate {
+        /// z-value for the configured confidence level.
+        z: f64,
+        /// Population size estimates scale up to.
+        population: u64,
+    },
+    /// Like `Estimate`, but the snapshot only becomes available once the
+    /// scan completes (blocking engines over offline sample tables).
+    EstimateAtEnd {
+        /// z-value for the configured confidence level.
+        z: f64,
+        /// Population size estimates scale up to.
+        population: u64,
+    },
+}
+
+/// A query scan that can be advanced in work-unit-bounded chunks.
+///
+/// The run owns its dataset handle and an optional row *order* (progressive
+/// engines scan a shuffled order so any prefix is a uniform sample). Engines
+/// wrap this in their [`idebench_core::QueryHandle`] implementations.
+pub struct ChunkedRun {
+    dataset: Dataset,
+    query: Query,
+    /// Row visit order; `None` = natural order 0..n.
+    order: Option<Arc<Vec<u32>>>,
+    /// Accumulated grouped state.
+    acc: Option<GroupedAcc>,
+    cursor: usize,
+    num_rows: usize,
+    row_cost: f64,
+    /// Extra cost per row that passes the filter (aggregation work scales
+    /// with qualifying tuples, which is what makes filter selectivity the
+    /// dominant cost factor — the paper's Exp-4 finding).
+    match_cost: f64,
+    /// Fixed work consumed before the first row is processed (planning,
+    /// warm-up). Charged against the first `advance` budgets.
+    startup_units: u64,
+    startup_remaining: u64,
+    mode: SnapshotMode,
+}
+
+impl ChunkedRun {
+    /// Creates a run over the natural row order.
+    pub fn new(dataset: Dataset, query: Query, mode: SnapshotMode) -> Result<Self, CoreError> {
+        Self::with_order(dataset, query, None, mode)
+    }
+
+    /// Creates a run visiting rows in the given order (e.g. a shuffle).
+    pub fn with_order(
+        dataset: Dataset,
+        query: Query,
+        order: Option<Arc<Vec<u32>>>,
+        mode: SnapshotMode,
+    ) -> Result<Self, CoreError> {
+        // Validate the query binds, and capture scan-shape constants.
+        let resolved = ResolvedQuery::new(&dataset, &query)?;
+        let num_rows = resolved.num_rows;
+        let row_cost = resolved.row_cost();
+        if let Some(o) = &order {
+            debug_assert_eq!(o.len(), num_rows, "order must cover every row");
+        }
+        let acc = GroupedAcc::for_query(&resolved, &query.aggregates);
+        drop(resolved);
+        Ok(ChunkedRun {
+            dataset,
+            query,
+            order,
+            acc: Some(acc),
+            cursor: 0,
+            num_rows,
+            row_cost: row_cost as f64,
+            match_cost: 0.0,
+            startup_units: 0,
+            startup_remaining: 0,
+            mode,
+        })
+    }
+
+    /// Overrides the per-row work-unit cost (engine cost models).
+    pub fn set_row_cost(&mut self, cost: f64) {
+        assert!(cost > 0.0 && cost.is_finite(), "row cost must be positive");
+        self.row_cost = cost;
+    }
+
+    /// Sets the extra cost charged per filter-matching row.
+    pub fn set_match_cost(&mut self, cost: f64) {
+        assert!(cost >= 0.0 && cost.is_finite(), "match cost must be >= 0");
+        self.match_cost = cost;
+    }
+
+    /// Sets a fixed startup cost consumed before any row is processed.
+    pub fn set_startup_units(&mut self, units: u64) {
+        self.startup_units = units;
+        self.startup_remaining = units;
+    }
+
+    /// Per-row work-unit cost.
+    pub fn row_cost(&self) -> f64 {
+        self.row_cost
+    }
+
+    /// Rows processed so far.
+    pub fn rows_done(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total rows to process.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Whether the scan is complete.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.num_rows
+    }
+
+    /// Fraction of rows processed.
+    pub fn progress(&self) -> f64 {
+        if self.num_rows == 0 {
+            1.0
+        } else {
+            self.cursor as f64 / self.num_rows as f64
+        }
+    }
+
+    /// Processes rows until `budget_units` is exhausted or the scan ends.
+    /// Returns the units actually consumed.
+    pub fn advance(&mut self, budget_units: u64) -> u64 {
+        let mut budget = budget_units;
+        let mut consumed = 0u64;
+        // Pay any outstanding startup cost first.
+        if self.startup_remaining > 0 {
+            let pay = self.startup_remaining.min(budget);
+            self.startup_remaining -= pay;
+            consumed += pay;
+            budget -= pay;
+        }
+        if self.is_done() || budget == 0 {
+            return consumed;
+        }
+        let resolved =
+            ResolvedQuery::new(&self.dataset, &self.query).expect("validated at construction");
+        let acc = self.acc.as_mut().expect("accumulator present");
+        let mut available = budget as f64;
+        while self.cursor < self.num_rows {
+            if available < self.row_cost {
+                break;
+            }
+            let row = match &self.order {
+                Some(order) => order[self.cursor] as usize,
+                None => self.cursor,
+            };
+            let matched = acc.process_row(&resolved, row);
+            available -= self.row_cost;
+            if matched {
+                // The matched-row surcharge may overdraw slightly on the
+                // last row; clamp so we never report more than granted.
+                available -= self.match_cost;
+            }
+            self.cursor += 1;
+        }
+        consumed += (budget as f64 - available.max(0.0)).round() as u64;
+        consumed.min(budget_units)
+    }
+
+    /// The current result under the run's snapshot mode.
+    ///
+    /// In `Exact` mode this returns `None` until the scan completes; in
+    /// `Estimate` mode it returns an estimate as soon as at least one row
+    /// has been processed.
+    pub fn snapshot(&self) -> Option<AggResult> {
+        let acc = self.acc.as_ref()?;
+        match self.mode {
+            SnapshotMode::Exact => {
+                if self.is_done() {
+                    Some(acc.finish_exact())
+                } else {
+                    None
+                }
+            }
+            SnapshotMode::Estimate { z, population } => {
+                if self.cursor == 0 {
+                    None
+                } else if self.is_done() && population as usize == self.num_rows {
+                    // A completed full-population scan is exact.
+                    Some(acc.finish_exact())
+                } else {
+                    Some(acc.finish_estimate(population, z))
+                }
+            }
+            SnapshotMode::EstimateAtEnd { z, population } => {
+                if !self.is_done() {
+                    None
+                } else if population as usize == self.num_rows {
+                    Some(acc.finish_exact())
+                } else {
+                    Some(acc.finish_estimate(population, z))
+                }
+            }
+        }
+    }
+
+    /// The accumulated state (engines use this for result reuse).
+    pub fn accumulator(&self) -> &GroupedAcc {
+        self.acc.as_ref().expect("accumulator present")
+    }
+
+    /// The query this run executes.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+}
+
+/// Runs a query to completion, returning the exact result.
+///
+/// This is both the ground-truth oracle and the execution path of the
+/// blocking exact engine.
+pub fn execute_exact(dataset: &Dataset, query: &Query) -> Result<AggResult, CoreError> {
+    let resolved = ResolvedQuery::new(dataset, query)?;
+    let mut acc = GroupedAcc::for_query(&resolved, &query.aggregates);
+    for row in 0..resolved.num_rows {
+        acc.process_row(&resolved, row);
+    }
+    Ok(acc.finish_exact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
+    use idebench_core::{BinCoord, BinKey, FilterExpr, Predicate, VizSpec};
+    use idebench_storage::{DataType, TableBuilder};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("carrier", DataType::Nominal),
+                ("dep_delay", DataType::Float),
+            ],
+        );
+        for i in 0..n {
+            let c = if i % 3 == 0 { "AA" } else { "DL" };
+            b.push_row(&[c.into(), (i as f64).into()]).unwrap();
+        }
+        Dataset::Denormalized(Arc::new(b.finish()))
+    }
+
+    fn count_query() -> Query {
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        );
+        Query::for_viz(&spec, None)
+    }
+
+    #[test]
+    fn execute_exact_counts() {
+        let ds = dataset(9);
+        let r = execute_exact(&ds, &count_query()).unwrap();
+        assert_eq!(r.value(&BinKey::d1(BinCoord::Cat(0)), 0), Some(3.0));
+        assert_eq!(r.value(&BinKey::d1(BinCoord::Cat(1)), 0), Some(6.0));
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn chunked_exact_matches_oneshot() {
+        let ds = dataset(100);
+        let q = count_query();
+        let mut run = ChunkedRun::new(ds.clone(), q.clone(), SnapshotMode::Exact).unwrap();
+        // Exact mode: no snapshot mid-scan.
+        run.advance(10);
+        assert!(run.snapshot().is_none());
+        while !run.is_done() {
+            run.advance(7);
+        }
+        assert_eq!(run.snapshot().unwrap(), execute_exact(&ds, &q).unwrap());
+    }
+
+    #[test]
+    fn advance_respects_budget_and_row_cost() {
+        let ds = dataset(50);
+        let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        assert_eq!(run.row_cost(), 1.0);
+        let used = run.advance(13);
+        assert_eq!(used, 13);
+        assert_eq!(run.rows_done(), 13);
+        // Budget smaller than row cost consumes nothing.
+        let mut tiny = run;
+        let used = tiny.advance(0);
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn fractional_row_cost_scales_progress() {
+        let ds = dataset(100);
+        let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        run.set_row_cost(2.5);
+        let used = run.advance(25);
+        assert_eq!(run.rows_done(), 10);
+        assert_eq!(used, 25);
+        // A sub-cost budget makes no progress.
+        let used = run.advance(2);
+        assert_eq!(used, 0);
+        assert_eq!(run.rows_done(), 10);
+    }
+
+    #[test]
+    fn match_cost_charges_matching_rows_only() {
+        let ds = dataset(100);
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        );
+        // carrier AA on every third row.
+        let q = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["AA".into()],
+            })),
+        );
+        let mut run = ChunkedRun::new(ds, q, SnapshotMode::Exact).unwrap();
+        run.set_row_cost(1.0);
+        run.set_match_cost(2.0);
+        // 100 rows: 34 match (i % 3 == 0) → total cost 100 + 68 = 168.
+        let mut total = 0u64;
+        while !run.is_done() {
+            let used = run.advance(50);
+            assert!(used <= 50);
+            total += used;
+        }
+        assert!((166..=170).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn startup_units_paid_before_rows() {
+        let ds = dataset(100);
+        let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        run.set_startup_units(30);
+        let used = run.advance(20);
+        assert_eq!(used, 20);
+        assert_eq!(run.rows_done(), 0);
+        let used = run.advance(20);
+        assert_eq!(used, 20); // 10 startup + 10 rows
+        assert_eq!(run.rows_done(), 10);
+    }
+
+    #[test]
+    fn estimate_at_end_withholds_partial_results() {
+        let ds = dataset(100);
+        let mut run = ChunkedRun::new(
+            ds,
+            count_query(),
+            SnapshotMode::EstimateAtEnd {
+                z: 1.96,
+                population: 1_000,
+            },
+        )
+        .unwrap();
+        run.advance(50);
+        assert!(run.snapshot().is_none());
+        run.advance(100);
+        let snap = run.snapshot().unwrap();
+        assert!(!snap.exact);
+        // Scaled 10× (100-row sample of a 1000-row population).
+        let total: f64 = snap.bins.values().map(|s| s.values[0]).sum();
+        assert!((total - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_snapshot_available_immediately() {
+        let ds = dataset(1000);
+        let q = count_query();
+        let mut run = ChunkedRun::new(
+            ds,
+            q,
+            SnapshotMode::Estimate {
+                z: 1.96,
+                population: 1000,
+            },
+        )
+        .unwrap();
+        assert!(run.snapshot().is_none());
+        run.advance(100);
+        let snap = run.snapshot().unwrap();
+        assert!(!snap.exact);
+        assert!((snap.processed_fraction - 0.1).abs() < 1e-9);
+        // Count estimate should be near the true totals (the natural order
+        // here is periodic, so exact thirds).
+        let aa = snap.value(&BinKey::d1(BinCoord::Cat(0)), 0).unwrap();
+        assert!((aa - 334.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn completed_estimate_of_full_population_is_exact() {
+        let ds = dataset(60);
+        let q = count_query();
+        let mut run = ChunkedRun::new(
+            ds.clone(),
+            q.clone(),
+            SnapshotMode::Estimate {
+                z: 1.96,
+                population: 60,
+            },
+        )
+        .unwrap();
+        while !run.is_done() {
+            run.advance(64);
+        }
+        let snap = run.snapshot().unwrap();
+        assert!(snap.exact);
+        assert_eq!(snap, execute_exact(&ds, &q).unwrap());
+    }
+
+    #[test]
+    fn shuffled_order_visits_every_row_once() {
+        let ds = dataset(40);
+        let q = count_query();
+        let order: Arc<Vec<u32>> = Arc::new((0..40u32).rev().collect());
+        let mut run =
+            ChunkedRun::with_order(ds.clone(), q.clone(), Some(order), SnapshotMode::Exact)
+                .unwrap();
+        while !run.is_done() {
+            run.advance(9);
+        }
+        assert_eq!(run.snapshot().unwrap(), execute_exact(&ds, &q).unwrap());
+    }
+
+    #[test]
+    fn filtered_chunked_run() {
+        let ds = dataset(100);
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            }],
+            vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        );
+        let q = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::Range {
+                column: "dep_delay".into(),
+                min: 0.0,
+                max: 50.0,
+            })),
+        );
+        let mut run = ChunkedRun::new(ds.clone(), q.clone(), SnapshotMode::Exact).unwrap();
+        while !run.is_done() {
+            run.advance(33);
+        }
+        let snap = run.snapshot().unwrap();
+        assert_eq!(snap.bins.len(), 5); // bins [0,10) .. [40,50)
+        assert_eq!(snap, execute_exact(&ds, &q).unwrap());
+        assert_eq!(run.accumulator().rows_matched, 50);
+    }
+
+    #[test]
+    fn empty_table_completes_immediately() {
+        let ds = dataset(0);
+        let run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        assert!(run.is_done());
+        assert_eq!(run.progress(), 1.0);
+        assert_eq!(run.snapshot().unwrap().bins.len(), 0);
+    }
+}

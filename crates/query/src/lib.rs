@@ -1,0 +1,36 @@
+//! Query-evaluation primitives shared by all IDEBench engines.
+//!
+//! The engines in this workspace differ in *when* and *over which rows* they
+//! evaluate a query (blocking full scans, progressive shuffled prefixes,
+//! offline samples, random join walks) — but the per-row semantics of
+//! filtering, binning and aggregation are identical. This crate centralizes
+//! those semantics:
+//!
+//! - [`resolve`]: binds a [`idebench_core::Query`]'s column names against a
+//!   [`idebench_storage::Dataset`], transparently following star-schema
+//!   foreign keys.
+//! - [`filter`]: compiled filter trees with per-row and vectorized
+//!   evaluation.
+//! - [`binning`]: compiled 1D/2D nominal/quantitative binning.
+//! - [`aggregate`]: grouped accumulators with exact finalization and
+//!   sample-scale-up estimation including CLT confidence intervals.
+//! - [`executor`]: a chunked query runner (the building block engines step),
+//!   plus `execute_exact` for one-shot exact evaluation.
+//! - [`ground_truth`]: a caching [`idebench_core::GroundTruthProvider`].
+//! - [`sql`]: SQL rendering of queries (paper Figure 4).
+
+pub mod aggregate;
+pub mod binning;
+pub mod executor;
+pub mod filter;
+pub mod ground_truth;
+pub mod resolve;
+pub mod sql;
+
+pub use aggregate::{BinAcc, GroupedAcc, MeasureAcc};
+pub use binning::CompiledBinning;
+pub use executor::{execute_exact, ChunkedRun, SnapshotMode};
+pub use filter::CompiledFilter;
+pub use ground_truth::{enumerate_workload_queries, CachedGroundTruth};
+pub use resolve::{ResolvedColumn, ResolvedQuery};
+pub use sql::to_sql;

@@ -1,0 +1,234 @@
+//! SQL rendering of queries — the translation shown in paper Figure 4.
+//!
+//! The engines in this workspace execute logical plans directly; the SQL
+//! text exists for report readability, for adapter implementations against
+//! external SQL systems, and as documentation parity with the paper.
+
+use idebench_core::{AggFunc, BinDef, FilterExpr, Predicate, Query};
+use idebench_storage::StarSchema;
+use std::fmt::Write as _;
+
+/// Renders `query` as SQL over a de-normalized table, or with star-schema
+/// joins when `star` is given and the query touches dimension columns.
+pub fn to_sql(query: &Query, star: Option<&StarSchema>) -> String {
+    let mut select_items: Vec<String> = Vec::new();
+    let mut group_by: Vec<String> = Vec::new();
+
+    for (i, bin) in query.binning.iter().enumerate() {
+        let expr = match bin {
+            BinDef::Nominal { dimension } => dimension.clone(),
+            BinDef::Width {
+                dimension,
+                width,
+                anchor,
+            } => {
+                if *anchor == 0.0 {
+                    format!("FLOOR({dimension} / {width}) * {width}")
+                } else {
+                    format!("FLOOR(({dimension} - {anchor}) / {width}) * {width} + {anchor}")
+                }
+            }
+            BinDef::Count { dimension, bins } => {
+                format!("WIDTH_BUCKET({dimension}, MIN({dimension}), MAX({dimension}), {bins})")
+            }
+        };
+        select_items.push(format!("{expr} AS bin_{i}"));
+        group_by.push(format!("bin_{i}"));
+    }
+
+    for agg in &query.aggregates {
+        let item = match (&agg.func, &agg.dimension) {
+            (AggFunc::Count, _) => "COUNT(*)".to_string(),
+            (f, Some(d)) => format!("{}({d})", f.sql_name()),
+            (f, None) => format!("{}(*)", f.sql_name()),
+        };
+        select_items.push(item);
+    }
+
+    let mut sql = String::with_capacity(256);
+    let _ = write!(
+        sql,
+        "SELECT {} FROM {}",
+        select_items.join(", "),
+        query.source
+    );
+
+    // Join clauses for dimension-table columns.
+    if let Some(star) = star {
+        let mut joined: Vec<&str> = Vec::new();
+        for col in query.referenced_columns() {
+            if star.fact().schema().index_of(col).is_ok() {
+                continue;
+            }
+            if let Some((spec, _)) = star.dimension_of_column(col) {
+                if !joined.contains(&spec.table_name.as_str()) {
+                    joined.push(&spec.table_name);
+                    let _ = write!(
+                        sql,
+                        " JOIN {dim} ON {fact}.{fk} = {dim}.rowid",
+                        dim = spec.table_name,
+                        fact = star.fact().name(),
+                        fk = spec.fk_name
+                    );
+                }
+            }
+        }
+    }
+
+    if let Some(filter) = &query.filter {
+        let _ = write!(sql, " WHERE {}", filter_sql(filter));
+    }
+    let _ = write!(sql, " GROUP BY {}", group_by.join(", "));
+    sql
+}
+
+fn filter_sql(expr: &FilterExpr) -> String {
+    match expr {
+        FilterExpr::Pred(Predicate::Range { column, min, max }) => {
+            match (min.is_finite(), max.is_finite()) {
+                (true, true) => format!("({column} >= {min} AND {column} < {max})"),
+                (true, false) => format!("{column} >= {min}"),
+                (false, true) => format!("{column} < {max}"),
+                (false, false) => "TRUE".to_string(),
+            }
+        }
+        FilterExpr::Pred(Predicate::In { column, values }) => {
+            let quoted: Vec<String> = values.iter().map(|v| format!("'{v}'")).collect();
+            format!("{column} IN ({})", quoted.join(", "))
+        }
+        FilterExpr::And(children) => {
+            if children.is_empty() {
+                return "TRUE".to_string();
+            }
+            let parts: Vec<String> = children.iter().map(filter_sql).collect();
+            format!("({})", parts.join(" AND "))
+        }
+        FilterExpr::Or(children) => {
+            if children.is_empty() {
+                return "FALSE".to_string();
+            }
+            let parts: Vec<String> = children.iter().map(filter_sql).collect();
+            format!("({})", parts.join(" OR "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idebench_core::spec::AggregateSpec;
+    use idebench_core::VizSpec;
+
+    fn base_query(binning: Vec<BinDef>, filter: Option<FilterExpr>) -> Query {
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            binning,
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+            ],
+        );
+        Query::for_viz(&spec, filter)
+    }
+
+    #[test]
+    fn figure4_style_nominal_count() {
+        let q = base_query(
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            None,
+        );
+        let sql = to_sql(&q, None);
+        assert_eq!(
+            sql,
+            "SELECT carrier AS bin_0, COUNT(*), AVG(arr_delay) FROM flights GROUP BY bin_0"
+        );
+    }
+
+    #[test]
+    fn width_binning_renders_floor() {
+        let q = base_query(
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            }],
+            None,
+        );
+        let sql = to_sql(&q, None);
+        assert!(sql.contains("FLOOR(dep_delay / 10) * 10 AS bin_0"));
+    }
+
+    #[test]
+    fn anchored_width_binning() {
+        let q = base_query(
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 5.0,
+                anchor: 2.5,
+            }],
+            None,
+        );
+        assert!(to_sql(&q, None).contains("FLOOR((dep_delay - 2.5) / 5) * 5 + 2.5"));
+    }
+
+    #[test]
+    fn where_clause_with_in_and_range() {
+        let filter = FilterExpr::Pred(Predicate::In {
+            column: "carrier".into(),
+            values: vec!["AA".into(), "DL".into()],
+        })
+        .and(FilterExpr::Pred(Predicate::Range {
+            column: "dep_delay".into(),
+            min: 0.0,
+            max: 60.0,
+        }));
+        let q = base_query(
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            Some(filter),
+        );
+        let sql = to_sql(&q, None);
+        assert!(
+            sql.contains("WHERE (carrier IN ('AA', 'DL') AND (dep_delay >= 0 AND dep_delay < 60))")
+        );
+    }
+
+    #[test]
+    fn open_ranges_render_single_sided() {
+        let q = base_query(
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            Some(FilterExpr::Pred(Predicate::Range {
+                column: "dep_delay".into(),
+                min: 30.0,
+                max: f64::INFINITY,
+            })),
+        );
+        assert!(to_sql(&q, None).contains("WHERE dep_delay >= 30"));
+    }
+
+    #[test]
+    fn two_dim_group_by() {
+        let q = base_query(
+            vec![
+                BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 10.0,
+                    anchor: 0.0,
+                },
+                BinDef::Width {
+                    dimension: "arr_delay".into(),
+                    width: 10.0,
+                    anchor: 0.0,
+                },
+            ],
+            None,
+        );
+        assert!(to_sql(&q, None).ends_with("GROUP BY bin_0, bin_1"));
+    }
+}

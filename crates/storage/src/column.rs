@@ -1,0 +1,215 @@
+//! Typed columns with optional null bitmaps.
+
+use crate::dictionary::Dictionary;
+use crate::selection::SelVec;
+use std::sync::Arc;
+
+/// The physical payload of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Quantitative 64-bit floats.
+    Float(Vec<f64>),
+    /// Integer keys / discrete values.
+    Int(Vec<i64>),
+    /// Dictionary codes into the shared [`Dictionary`].
+    Nominal(Vec<u32>, Arc<Dictionary>),
+}
+
+/// A column: data plus an optional validity bitmap.
+///
+/// `validity == None` means every row is valid (the common case for the
+/// flights dataset); otherwise a row is null when its bit is *unset*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<SelVec>,
+}
+
+impl Column {
+    /// A fully-valid float column.
+    pub fn float(values: Vec<f64>) -> Self {
+        Column {
+            data: ColumnData::Float(values),
+            validity: None,
+        }
+    }
+
+    /// A fully-valid integer column.
+    pub fn int(values: Vec<i64>) -> Self {
+        Column {
+            data: ColumnData::Int(values),
+            validity: None,
+        }
+    }
+
+    /// A fully-valid nominal column over a shared dictionary.
+    pub fn nominal(codes: Vec<u32>, dict: Arc<Dictionary>) -> Self {
+        debug_assert!(codes.iter().all(|&c| (c as usize) < dict.len().max(1)));
+        Column {
+            data: ColumnData::Nominal(codes, dict),
+            validity: None,
+        }
+    }
+
+    /// Attaches a validity bitmap (bit unset ⇒ null). Panics on length mismatch.
+    pub fn with_validity(mut self, validity: SelVec) -> Self {
+        assert_eq!(validity.len(), self.len(), "validity length mismatch");
+        self.validity = Some(validity);
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Nominal(v, _) => v.len(),
+        }
+    }
+
+    /// True when the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The validity bitmap, if any row may be null.
+    pub fn validity(&self) -> Option<&SelVec> {
+        self.validity.as_ref()
+    }
+
+    /// Whether row `i` is valid (non-null).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v.contains(i))
+    }
+
+    /// Float slice view; `None` for non-float columns.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Integer slice view; `None` for non-int columns.
+    pub fn as_int(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Nominal code slice + dictionary; `None` for non-nominal columns.
+    pub fn as_nominal(&self) -> Option<(&[u32], &Arc<Dictionary>)> {
+        match &self.data {
+            ColumnData::Nominal(v, d) => Some((v, d)),
+            _ => None,
+        }
+    }
+
+    /// Row `i` as an `f64`, for quantitative evaluation.
+    ///
+    /// Ints are widened; nominal codes are returned as their code value
+    /// (useful only for internal bucketing). Returns `None` for null rows.
+    #[inline]
+    pub fn numeric_at(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Float(v) => v[i],
+            ColumnData::Int(v) => v[i] as f64,
+            ColumnData::Nominal(v, _) => f64::from(v[i]),
+        })
+    }
+
+    /// Materializes the subset of rows in `rows`, preserving order.
+    pub fn take(&self, rows: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Float(v) => ColumnData::Float(rows.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(rows.iter().map(|&i| v[i]).collect()),
+            ColumnData::Nominal(v, d) => {
+                ColumnData::Nominal(rows.iter().map(|&i| v[i]).collect(), Arc::clone(d))
+            }
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|val| SelVec::from_bools(rows.len(), rows.iter().map(|&i| val.contains(i))));
+        Column { data, validity }
+    }
+
+    /// Materializes the rows selected by `sel` (ascending order).
+    pub fn filter(&self, sel: &SelVec) -> Column {
+        let rows: Vec<usize> = sel.iter().collect();
+        self.take(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Arc<Dictionary> {
+        Arc::new(Dictionary::from_values(["AA", "DL", "UA"]))
+    }
+
+    #[test]
+    fn float_column_basics() {
+        let c = Column::float(vec![1.0, 2.5, -3.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.as_float().unwrap()[1], 2.5);
+        assert!(c.as_int().is_none());
+        assert_eq!(c.numeric_at(2), Some(-3.0));
+    }
+
+    #[test]
+    fn nominal_column_roundtrip() {
+        let c = Column::nominal(vec![0, 2, 1, 0], dict());
+        let (codes, d) = c.as_nominal().unwrap();
+        assert_eq!(codes, &[0, 2, 1, 0]);
+        assert_eq!(d.value(2), Some("UA"));
+    }
+
+    #[test]
+    fn validity_masks_nulls() {
+        let v = SelVec::from_bools(3, [true, false, true]);
+        let c = Column::float(vec![1.0, 2.0, 3.0]).with_validity(v);
+        assert!(c.is_valid(0));
+        assert!(!c.is_valid(1));
+        assert_eq!(c.numeric_at(1), None);
+        assert_eq!(c.numeric_at(2), Some(3.0));
+    }
+
+    #[test]
+    fn take_reorders_and_keeps_validity() {
+        let v = SelVec::from_bools(4, [true, false, true, true]);
+        let c = Column::int(vec![10, 20, 30, 40]).with_validity(v);
+        let t = c.take(&[3, 1, 0]);
+        assert_eq!(t.as_int().unwrap(), &[40, 20, 10]);
+        assert!(t.is_valid(0));
+        assert!(!t.is_valid(1));
+        assert!(t.is_valid(2));
+    }
+
+    #[test]
+    fn filter_takes_selected_rows() {
+        let c = Column::float(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let mut sel = SelVec::none(5);
+        sel.insert(1);
+        sel.insert(4);
+        let f = c.filter(&sel);
+        assert_eq!(f.as_float().unwrap(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn int_widens_to_f64() {
+        let c = Column::int(vec![7]);
+        assert_eq!(c.numeric_at(0), Some(7.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! String dictionaries for nominal (categorical) columns.
+
+use rustc_hash::FxHashMap;
+
+/// A bidirectional mapping between category strings and dense `u32` codes.
+///
+/// Codes are assigned in first-seen order starting at 0, so a dictionary with
+/// `n` entries uses exactly the codes `0..n`. Nominal columns store only the
+/// codes; the dictionary is shared (via `Arc`) between a column and any
+/// derived tables (samples, filtered clones), so code spaces stay aligned
+/// across an engine's auxiliary structures.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary from a list of distinct values, coded in order.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Dictionary::new();
+        for v in values {
+            d.intern(&v.into());
+        }
+        d
+    }
+
+    /// Returns the code for `value`, inserting it if unseen.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), code);
+        code
+    }
+
+    /// Returns the code for `value` if it has been interned.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the string for `code`, if in range.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values (cardinality of the category domain).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("AA"), 0);
+        assert_eq!(d.intern("DL"), 1);
+        assert_eq!(d.intern("AA"), 0);
+        assert_eq!(d.intern("UA"), 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn code_and_value_are_inverse() {
+        let d = Dictionary::from_values(["AA", "DL", "UA"]);
+        for (i, v) in ["AA", "DL", "UA"].iter().enumerate() {
+            assert_eq!(d.code(v), Some(i as u32));
+            assert_eq!(d.value(i as u32), Some(*v));
+        }
+        assert_eq!(d.code("WN"), None);
+        assert_eq!(d.value(99), None);
+    }
+
+    #[test]
+    fn from_values_dedups() {
+        let d = Dictionary::from_values(["x", "y", "x"]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_index_layout() {
+        let a = Dictionary::from_values(["p", "q"]);
+        let mut b = Dictionary::new();
+        b.intern("p");
+        b.intern("q");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Selection vectors (validity/filter bitmaps) for vectorized evaluation.
+
+/// A fixed-length bitmap marking which rows of a table survive a predicate.
+///
+/// Predicate evaluation in the engines is vectorized: each predicate refines
+/// a `SelVec` in place, and aggregation iterates only the set positions.
+/// Words are 64-bit; trailing bits beyond `len` are kept zero as an
+/// invariant so popcounts stay exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelVec {
+    /// A selection of `len` rows, all selected.
+    pub fn all(len: usize) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut words = vec![u64::MAX; nwords];
+        Self::mask_tail(&mut words, len);
+        SelVec { words, len }
+    }
+
+    /// A selection of `len` rows, none selected.
+    pub fn none(len: usize) -> Self {
+        SelVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a selection from an iterator of booleans of exactly `len` items.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(len: usize, bits: I) -> Self {
+        let mut sel = SelVec::none(len);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                sel.insert(i);
+            }
+        }
+        sel
+    }
+
+    fn mask_tail(words: &mut [u64], len: usize) {
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of rows covered by the selection (set or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the selection covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether row `i` is selected.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks row `i` selected.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Marks row `i` unselected.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of selected rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Intersects with `other` in place. Panics if lengths differ.
+    pub fn intersect(&mut self, other: &SelVec) {
+        assert_eq!(self.len, other.len, "selection length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Unions with `other` in place. Panics if lengths differ.
+    pub fn union(&mut self, other: &SelVec) {
+        assert_eq!(self.len, other.len, "selection length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Inverts the selection in place.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        Self::mask_tail(&mut self.words, self.len);
+    }
+
+    /// Iterates the indices of selected rows in ascending order.
+    pub fn iter(&self) -> SelIter<'_> {
+        SelIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Retains only rows for which `keep` returns true (called on selected rows only).
+    pub fn refine(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        // Iterate word-wise so clearing bits does not invalidate iteration.
+        for wi in 0..self.words.len() {
+            let mut w = self.words[wi];
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                let row = wi * 64 + bit;
+                if !keep(row) {
+                    self.words[wi] &= !(1u64 << bit);
+                }
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set positions of a [`SelVec`].
+pub struct SelIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none_counts() {
+        assert_eq!(SelVec::all(130).count(), 130);
+        assert_eq!(SelVec::none(130).count(), 0);
+        assert_eq!(SelVec::all(0).count(), 0);
+        assert_eq!(SelVec::all(64).count(), 64);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SelVec::none(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_positions() {
+        let mut s = SelVec::none(200);
+        for i in [5usize, 64, 65, 130, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![5, 64, 65, 130, 199]);
+    }
+
+    #[test]
+    fn negate_respects_tail() {
+        let mut s = SelVec::none(70);
+        s.insert(3);
+        s.negate();
+        assert_eq!(s.count(), 69);
+        assert!(!s.contains(3));
+        assert!(s.contains(69));
+    }
+
+    #[test]
+    fn intersect_and_union() {
+        let mut a = SelVec::from_bools(8, [true, true, false, false, true, false, true, false]);
+        let b = SelVec::from_bools(8, [true, false, true, false, true, false, false, false]);
+        let mut u = a.clone();
+        u.union(&b);
+        a.intersect(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![0, 1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn refine_keeps_even_rows() {
+        let mut s = SelVec::all(100);
+        s.refine(|i| i % 2 == 0);
+        assert_eq!(s.count(), 50);
+        assert!(s.iter().all(|i| i % 2 == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "selection length mismatch")]
+    fn intersect_length_mismatch_panics() {
+        let mut a = SelVec::all(10);
+        a.intersect(&SelVec::all(11));
+    }
+}

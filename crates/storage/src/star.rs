@@ -1,0 +1,248 @@
+//! Star-schema datasets: a fact table plus dimension tables joined by
+//! integer foreign keys.
+//!
+//! IDEBench runs on data-warehouse star schemas "in both de-normalized and
+//! normalized form" (paper §3.1). [`Dataset`] is the handle the benchmark
+//! passes to system adapters; engines that only support de-normalized data
+//! (like the paper's IDEA and System X) reject the `Star` variant.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use std::sync::Arc;
+
+/// Specification of one dimension split out of a de-normalized table.
+///
+/// `attributes` move into the dimension table; `fk_name` is the surrogate-key
+/// column added to the fact table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionSpec {
+    /// Name of the dimension table to create (e.g. `"carriers"`).
+    pub table_name: String,
+    /// Name of the foreign-key column added to the fact table.
+    pub fk_name: String,
+    /// De-normalized columns that move into the dimension table.
+    pub attributes: Vec<String>,
+}
+
+impl DimensionSpec {
+    /// Creates a dimension spec.
+    pub fn new(
+        table_name: impl Into<String>,
+        fk_name: impl Into<String>,
+        attributes: Vec<String>,
+    ) -> Self {
+        DimensionSpec {
+            table_name: table_name.into(),
+            fk_name: fk_name.into(),
+            attributes,
+        }
+    }
+}
+
+/// A normalized dataset: one fact table and its dimensions.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    fact: Arc<Table>,
+    dimensions: Vec<(DimensionSpec, Arc<Table>)>,
+}
+
+impl StarSchema {
+    /// Assembles a star schema. Each dimension's `fk_name` must exist as an
+    /// integer column of the fact table, and key values must be valid row
+    /// indexes of the dimension table.
+    pub fn new(
+        fact: Arc<Table>,
+        dimensions: Vec<(DimensionSpec, Arc<Table>)>,
+    ) -> Result<Self, StorageError> {
+        for (spec, dim) in &dimensions {
+            let fk = fact.column(&spec.fk_name)?;
+            let keys = fk.as_int().ok_or_else(|| StorageError::TypeMismatch {
+                column: spec.fk_name.clone(),
+                expected: "int",
+                got: "non-int",
+            })?;
+            let n = dim.num_rows() as i64;
+            if let Some(&bad) = keys.iter().find(|&&k| k < 0 || k >= n) {
+                return Err(StorageError::Csv {
+                    line: 0,
+                    message: format!(
+                        "foreign key {bad} out of range for dimension {} ({} rows)",
+                        spec.table_name, n
+                    ),
+                });
+            }
+        }
+        Ok(StarSchema { fact, dimensions })
+    }
+
+    /// The fact table.
+    pub fn fact(&self) -> &Arc<Table> {
+        &self.fact
+    }
+
+    /// The dimension tables with their specs.
+    pub fn dimensions(&self) -> &[(DimensionSpec, Arc<Table>)] {
+        &self.dimensions
+    }
+
+    /// Finds the dimension table holding `column`, if any.
+    pub fn dimension_of_column(&self, column: &str) -> Option<(&DimensionSpec, &Arc<Table>)> {
+        self.dimensions
+            .iter()
+            .find(|(_, t)| t.schema().index_of(column).is_ok())
+            .map(|(s, t)| (s, t))
+    }
+
+    /// Dimension by table name.
+    pub fn dimension(
+        &self,
+        table_name: &str,
+    ) -> Result<(&DimensionSpec, &Arc<Table>), StorageError> {
+        self.dimensions
+            .iter()
+            .find(|(s, _)| s.table_name == table_name)
+            .map(|(s, t)| (s, t))
+            .ok_or_else(|| StorageError::UnknownTable(table_name.to_string()))
+    }
+
+    /// Total rows across fact and dimensions (size metric for reports).
+    pub fn total_rows(&self) -> usize {
+        self.fact.num_rows()
+            + self
+                .dimensions
+                .iter()
+                .map(|(_, t)| t.num_rows())
+                .sum::<usize>()
+    }
+
+    /// Total byte footprint across fact and dimensions.
+    pub fn byte_size(&self) -> usize {
+        self.fact.byte_size()
+            + self
+                .dimensions
+                .iter()
+                .map(|(_, t)| t.byte_size())
+                .sum::<usize>()
+    }
+}
+
+/// The dataset handle handed to system adapters.
+#[derive(Debug, Clone)]
+pub enum Dataset {
+    /// One wide de-normalized table.
+    Denormalized(Arc<Table>),
+    /// Fact + dimensions (normalized star schema).
+    Star(Arc<StarSchema>),
+}
+
+impl Dataset {
+    /// Rows in the fact (or single) table — the "size" of the dataset in the
+    /// sense of the paper's S/M/L settings.
+    pub fn fact_rows(&self) -> usize {
+        match self {
+            Dataset::Denormalized(t) => t.num_rows(),
+            Dataset::Star(s) => s.fact.num_rows(),
+        }
+    }
+
+    /// True when the dataset is normalized (requires join support).
+    pub fn is_normalized(&self) -> bool {
+        matches!(self, Dataset::Star(_))
+    }
+
+    /// Total byte footprint.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Dataset::Denormalized(t) => t.byte_size(),
+            Dataset::Star(s) => s.byte_size(),
+        }
+    }
+
+    /// The de-normalized table, if this dataset is de-normalized.
+    pub fn as_denormalized(&self) -> Option<&Arc<Table>> {
+        match self {
+            Dataset::Denormalized(t) => Some(t),
+            Dataset::Star(_) => None,
+        }
+    }
+
+    /// The star schema, if this dataset is normalized.
+    pub fn as_star(&self) -> Option<&Arc<StarSchema>> {
+        match self {
+            Dataset::Star(s) => Some(s),
+            Dataset::Denormalized(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::table::{TableBuilder, Value};
+
+    fn fact() -> Arc<Table> {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("dep_delay", DataType::Float),
+                ("carrier_key", DataType::Int),
+            ],
+        );
+        for (d, k) in [(1.0, 0i64), (2.0, 1), (3.0, 0)] {
+            b.push_row(&[d.into(), k.into()]).unwrap();
+        }
+        Arc::new(b.finish())
+    }
+
+    fn carriers() -> Arc<Table> {
+        let mut b = TableBuilder::with_fields("carriers", &[("carrier", DataType::Nominal)]);
+        b.push_row(&[Value::Str("AA".into())]).unwrap();
+        b.push_row(&[Value::Str("DL".into())]).unwrap();
+        Arc::new(b.finish())
+    }
+
+    fn spec() -> DimensionSpec {
+        DimensionSpec::new("carriers", "carrier_key", vec!["carrier".into()])
+    }
+
+    #[test]
+    fn star_schema_validates_keys() {
+        let s = StarSchema::new(fact(), vec![(spec(), carriers())]).unwrap();
+        assert_eq!(s.total_rows(), 5);
+        assert!(s.dimension("carriers").is_ok());
+        assert!(s.dimension("nope").is_err());
+    }
+
+    #[test]
+    fn out_of_range_fk_rejected() {
+        let mut b = TableBuilder::with_fields("f", &[("carrier_key", DataType::Int)]);
+        b.push_row(&[Value::Int(5)]).unwrap();
+        let bad_fact = Arc::new(b.finish());
+        assert!(StarSchema::new(bad_fact, vec![(spec(), carriers())]).is_err());
+    }
+
+    #[test]
+    fn dimension_of_column_finds_home_table() {
+        let s = StarSchema::new(fact(), vec![(spec(), carriers())]).unwrap();
+        let (d, _) = s.dimension_of_column("carrier").unwrap();
+        assert_eq!(d.table_name, "carriers");
+        assert!(s.dimension_of_column("dep_delay").is_none());
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let denorm = Dataset::Denormalized(fact());
+        assert_eq!(denorm.fact_rows(), 3);
+        assert!(!denorm.is_normalized());
+        assert!(denorm.as_denormalized().is_some());
+
+        let star = Dataset::Star(Arc::new(
+            StarSchema::new(fact(), vec![(spec(), carriers())]).unwrap(),
+        ));
+        assert!(star.is_normalized());
+        assert_eq!(star.fact_rows(), 3);
+        assert!(star.as_star().is_some());
+        assert!(star.byte_size() > 0);
+    }
+}

@@ -1,0 +1,763 @@
+//! Markov-chain workflow generation (paper §4.3).
+//!
+//! "The workflow generator models workflows as Markov Chains with
+//! pre-defined (and customizable) probability distributions for each of the
+//! workflow types to sample a sequence of interactions and filter/selection
+//! criteria."
+//!
+//! Every emitted interaction is *valid by construction*: the generator
+//! mirrors the driver's visualization-graph state, so created names are
+//! unique, links are acyclic, and selections always fit the source viz's
+//! binning. An invalid candidate action falls back to the next feasible
+//! one, keeping workflow length exact.
+
+use crate::profile::{DataProfile, DimensionProfile};
+use crate::{Workflow, WorkflowType};
+use idebench_core::spec::{
+    AggFunc, AggregateSpec, BinDef, FilterExpr, Predicate, SelCoord, Selection,
+};
+use idebench_core::{Interaction, VizSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable probabilities of the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Probability that a new viz bins two dimensions (2D plot).
+    pub two_d_prob: f64,
+    /// Aggregate mix as `(count-only, sum-only, avg-only, count+avg)`
+    /// weights; the default reproduces the paper's XDB observation that
+    /// roughly two thirds of workload queries are not online-eligible.
+    pub agg_weights: [f64; 4],
+    /// Maximum bins per brushed selection.
+    pub max_selected_bins: usize,
+    /// Maximum predicates per filter interaction.
+    pub max_filter_predicates: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            two_d_prob: 0.2,
+            agg_weights: [0.24, 0.04, 0.44, 0.28],
+            max_selected_bins: 3,
+            max_filter_predicates: 2,
+        }
+    }
+}
+
+/// Generates workflows of a given [`WorkflowType`].
+#[derive(Debug, Clone)]
+pub struct WorkflowGenerator {
+    kind: WorkflowType,
+    seed: u64,
+    profile: DataProfile,
+    config: GeneratorConfig,
+}
+
+/// Internal action alphabet of the Markov chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    Create,
+    Filter,
+    Select,
+    Link,
+    Discard,
+}
+
+/// The generator's mirror of one live viz.
+#[derive(Debug, Clone)]
+struct VizState {
+    name: String,
+    binning: Vec<BinDef>,
+    /// Outgoing link targets (indexes into `vizs`).
+    targets: Vec<usize>,
+    /// Whether any link touches this viz.
+    linked: bool,
+}
+
+impl WorkflowGenerator {
+    /// A generator over the default flights profile.
+    pub fn new(kind: WorkflowType, seed: u64) -> Self {
+        Self::with_profile(
+            kind,
+            seed,
+            DataProfile::flights(),
+            GeneratorConfig::default(),
+        )
+    }
+
+    /// A generator over a custom profile/config (paper §3.2
+    /// "Customizability").
+    pub fn with_profile(
+        kind: WorkflowType,
+        seed: u64,
+        profile: DataProfile,
+        config: GeneratorConfig,
+    ) -> Self {
+        assert!(
+            !profile.dimensions.is_empty(),
+            "profile needs at least one dimension"
+        );
+        WorkflowGenerator {
+            kind,
+            seed,
+            profile,
+            config,
+        }
+    }
+
+    /// Generates one workflow with exactly `len` interactions.
+    pub fn generate(&self, len: usize) -> Workflow {
+        self.generate_named(len, format!("{}_{}", self.kind.label(), self.seed))
+    }
+
+    /// Generates a batch of `count` workflows (the paper runs 10 per type).
+    pub fn generate_batch(&self, count: usize, len: usize) -> Vec<Workflow> {
+        (0..count)
+            .map(|i| {
+                let gen = WorkflowGenerator {
+                    kind: self.kind,
+                    seed: self
+                        .seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    profile: self.profile.clone(),
+                    config: self.config.clone(),
+                };
+                gen.generate_named(len, format!("{}_{}", self.kind.label(), i))
+            })
+            .collect()
+    }
+
+    fn generate_named(&self, len: usize, name: String) -> Workflow {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut state = GenState {
+            vizs: Vec::new(),
+            counter: 0,
+            hub: None,
+        };
+        let mut interactions = Vec::with_capacity(len);
+        for step in 0..len {
+            let kind = self.step_kind(&mut rng);
+            let action = if step == 0 {
+                Action::Create
+            } else {
+                self.sample_action(kind, &state, &mut rng)
+            };
+            let interaction = self.emit(action, kind, &mut state, &mut rng);
+            interactions.push(interaction);
+        }
+        Workflow::new(name, self.kind, interactions)
+    }
+
+    /// For mixed workflows each step borrows one concrete pattern's
+    /// transition profile; concrete types always use their own.
+    fn step_kind(&self, rng: &mut StdRng) -> WorkflowType {
+        if self.kind == WorkflowType::Mixed {
+            match rng.random_range(0..4u32) {
+                0 => WorkflowType::Independent,
+                1 => WorkflowType::SequentialLinking,
+                2 => WorkflowType::OneToN,
+                _ => WorkflowType::NToOne,
+            }
+        } else {
+            self.kind
+        }
+    }
+
+    /// Markov transition weights per pattern:
+    /// `[create, filter, select, link, discard]`.
+    fn weights(kind: WorkflowType) -> [f64; 5] {
+        match kind {
+            WorkflowType::Independent => [0.40, 0.53, 0.00, 0.00, 0.07],
+            WorkflowType::SequentialLinking => [0.28, 0.15, 0.35, 0.22, 0.00],
+            WorkflowType::OneToN => [0.32, 0.10, 0.33, 0.25, 0.00],
+            WorkflowType::NToOne => [0.32, 0.10, 0.33, 0.25, 0.00],
+            WorkflowType::Mixed => [0.35, 0.25, 0.20, 0.15, 0.05],
+        }
+    }
+
+    fn sample_action(&self, kind: WorkflowType, state: &GenState, rng: &mut StdRng) -> Action {
+        let w = Self::weights(kind);
+        let order = [
+            Action::Create,
+            Action::Filter,
+            Action::Select,
+            Action::Link,
+            Action::Discard,
+        ];
+        let total: f64 = w.iter().sum();
+        let mut u = rng.random::<f64>() * total;
+        let mut pick = Action::Create;
+        for (i, action) in order.iter().enumerate() {
+            if u < w[i] {
+                pick = *action;
+                break;
+            }
+            u -= w[i];
+        }
+        // Feasibility fallback chain.
+        let feasible = |a: Action| self.feasible(a, kind, state);
+        if feasible(pick) {
+            return pick;
+        }
+        for a in [Action::Create, Action::Link, Action::Select, Action::Filter] {
+            if feasible(a) {
+                return a;
+            }
+        }
+        Action::Create
+    }
+
+    fn feasible(&self, action: Action, kind: WorkflowType, state: &GenState) -> bool {
+        match action {
+            Action::Create => true,
+            Action::Filter => !state.vizs.is_empty(),
+            Action::Select => state.vizs.iter().any(|v| !v.targets.is_empty()),
+            Action::Link => self.link_candidate(kind, state).is_some(),
+            Action::Discard => state.vizs.iter().filter(|v| !v.linked).count() > 1,
+        }
+    }
+
+    /// Picks the pattern-appropriate (source, target) pair for a new link.
+    fn link_candidate(&self, kind: WorkflowType, state: &GenState) -> Option<(usize, usize)> {
+        if state.vizs.len() < 2 {
+            return None;
+        }
+        let hub = state.hub.unwrap_or(0);
+        match kind {
+            WorkflowType::Independent => None,
+            WorkflowType::SequentialLinking => {
+                // Chain: link the most recent unlinked viz onto the chain end.
+                let end = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.linked && v.targets.is_empty())
+                    .map(|(i, _)| i)
+                    .next_back()
+                    .or(state.hub);
+                let newcomer = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| !v.linked && Some(*i) != end)
+                    .map(|(i, _)| i)
+                    .next_back()?;
+                let end = end?;
+                (end != newcomer).then_some((end, newcomer))
+            }
+            WorkflowType::OneToN => {
+                // Hub fans out to an unlinked viz.
+                let target = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| !v.linked && *i != hub)
+                    .map(|(i, _)| i)
+                    .next_back()?;
+                Some((hub, target))
+            }
+            WorkflowType::NToOne | WorkflowType::Mixed => {
+                // A source feeds the hub (mixed reuses this shape; the
+                // hub varies as vizs get created).
+                let source = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| !v.linked && *i != hub)
+                    .map(|(i, _)| i)
+                    .next_back()?;
+                Some((source, hub))
+            }
+        }
+    }
+
+    fn emit(
+        &self,
+        action: Action,
+        kind: WorkflowType,
+        state: &mut GenState,
+        rng: &mut StdRng,
+    ) -> Interaction {
+        match action {
+            Action::Create => {
+                let spec = self.sample_viz(state, rng);
+                state.vizs.push(VizState {
+                    name: spec.name.clone(),
+                    binning: spec.binning.clone(),
+                    targets: Vec::new(),
+                    linked: false,
+                });
+                if state.hub.is_none() {
+                    state.hub = Some(0);
+                }
+                Interaction::CreateViz { viz: spec }
+            }
+            Action::Filter => {
+                let idx = rng.random_range(0..state.vizs.len());
+                let filter = self.sample_filter(rng);
+                Interaction::SetFilter {
+                    viz: state.vizs[idx].name.clone(),
+                    filter: Some(filter),
+                }
+            }
+            Action::Select => {
+                let candidates: Vec<usize> = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.targets.is_empty())
+                    .map(|(i, _)| i)
+                    .collect();
+                let idx = candidates[rng.random_range(0..candidates.len())];
+                let selection = self.sample_selection(&state.vizs[idx].binning, rng);
+                Interaction::Select {
+                    viz: state.vizs[idx].name.clone(),
+                    selection: Some(selection),
+                }
+            }
+            Action::Link => {
+                let (source, target) = self
+                    .link_candidate(kind, state)
+                    .expect("feasibility checked");
+                state.vizs[source].targets.push(target);
+                state.vizs[source].linked = true;
+                state.vizs[target].linked = true;
+                Interaction::Link {
+                    source: state.vizs[source].name.clone(),
+                    target: state.vizs[target].name.clone(),
+                }
+            }
+            Action::Discard => {
+                let candidates: Vec<usize> = state
+                    .vizs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.linked)
+                    .map(|(i, _)| i)
+                    .collect();
+                let idx = candidates[rng.random_range(0..candidates.len())];
+                let name = state.vizs[idx].name.clone();
+                state.remove(idx);
+                Interaction::Discard { viz: name }
+            }
+        }
+    }
+
+    fn sample_viz(&self, state: &mut GenState, rng: &mut StdRng) -> VizSpec {
+        let name = format!("viz_{}", state.counter);
+        state.counter += 1;
+
+        let dims = if rng.random::<f64>() < self.config.two_d_prob {
+            2
+        } else {
+            1
+        };
+        let mut binning = Vec::with_capacity(dims);
+        let mut used: Vec<usize> = Vec::new();
+        for _ in 0..dims {
+            let di = loop {
+                let di = rng.random_range(0..self.profile.dimensions.len());
+                if !used.contains(&di) {
+                    break di;
+                }
+            };
+            used.push(di);
+            binning.push(match &self.profile.dimensions[di] {
+                DimensionProfile::Nominal { name, .. } => BinDef::Nominal {
+                    dimension: name.clone(),
+                },
+                DimensionProfile::Quantitative {
+                    name,
+                    bin_width,
+                    anchor,
+                    ..
+                } => BinDef::Width {
+                    dimension: name.clone(),
+                    width: *bin_width,
+                    anchor: *anchor,
+                },
+            });
+        }
+
+        let measures = self.profile.measure_indexes();
+        let measure_name = |rng: &mut StdRng| {
+            let mi = measures[rng.random_range(0..measures.len())];
+            self.profile.dimensions[mi].name().to_string()
+        };
+        let w = &self.config.agg_weights;
+        let total: f64 = w.iter().sum();
+        let u = rng.random::<f64>() * total;
+        let aggregates = if u < w[0] {
+            vec![AggregateSpec::count()]
+        } else if u < w[0] + w[1] {
+            vec![AggregateSpec::over(AggFunc::Sum, measure_name(rng))]
+        } else if u < w[0] + w[1] + w[2] {
+            vec![AggregateSpec::over(AggFunc::Avg, measure_name(rng))]
+        } else {
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, measure_name(rng)),
+            ]
+        };
+
+        VizSpec::new(name, self.profile.table.clone(), binning, aggregates)
+    }
+
+    fn sample_filter(&self, rng: &mut StdRng) -> FilterExpr {
+        let n = rng.random_range(1..=self.config.max_filter_predicates);
+        let mut preds = Vec::with_capacity(n);
+        for _ in 0..n {
+            let di = rng.random_range(0..self.profile.dimensions.len());
+            preds.push(FilterExpr::Pred(match &self.profile.dimensions[di] {
+                DimensionProfile::Nominal { name, categories } => {
+                    let k = rng.random_range(1..=3usize.min(categories.len()));
+                    let mut values = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        let v = categories[rng.random_range(0..categories.len())].clone();
+                        if !values.contains(&v) {
+                            values.push(v);
+                        }
+                    }
+                    Predicate::In {
+                        column: name.clone(),
+                        values,
+                    }
+                }
+                DimensionProfile::Quantitative {
+                    name,
+                    bin_width,
+                    min,
+                    max,
+                    ..
+                } => {
+                    let span = (max - min).max(*bin_width);
+                    let width = bin_width * rng.random_range(1..=4) as f64;
+                    let start = min + rng.random::<f64>() * (span - width).max(0.0);
+                    Predicate::Range {
+                        column: name.clone(),
+                        min: start,
+                        max: start + width,
+                    }
+                }
+            }));
+        }
+        if preds.len() == 1 {
+            preds.pop().expect("one predicate")
+        } else {
+            FilterExpr::And(preds)
+        }
+    }
+
+    fn sample_selection(&self, binning: &[BinDef], rng: &mut StdRng) -> Selection {
+        let nbins = rng.random_range(1..=self.config.max_selected_bins);
+        let mut bins = Vec::with_capacity(nbins);
+        for _ in 0..nbins {
+            let mut coords = Vec::with_capacity(binning.len());
+            for def in binning {
+                coords.push(match def {
+                    BinDef::Nominal { dimension } => {
+                        let categories = self.categories_of(dimension);
+                        SelCoord::Category(
+                            categories[rng.random_range(0..categories.len())].clone(),
+                        )
+                    }
+                    BinDef::Width {
+                        dimension,
+                        width,
+                        anchor,
+                    } => {
+                        let (min, max) = self.range_of(dimension);
+                        let lo = ((min - anchor) / width).floor() as i64;
+                        let hi = ((max - anchor) / width).floor() as i64;
+                        SelCoord::Bucket(rng.random_range(lo..=hi.max(lo)))
+                    }
+                    BinDef::Count { .. } => {
+                        unreachable!("generator emits width binnings only")
+                    }
+                });
+            }
+            if !bins.contains(&coords) {
+                bins.push(coords);
+            }
+        }
+        Selection { bins }
+    }
+
+    fn categories_of(&self, dimension: &str) -> &[String] {
+        for d in &self.profile.dimensions {
+            if let DimensionProfile::Nominal { name, categories } = d {
+                if name == dimension {
+                    return categories;
+                }
+            }
+        }
+        panic!("unknown nominal dimension {dimension}");
+    }
+
+    fn range_of(&self, dimension: &str) -> (f64, f64) {
+        for d in &self.profile.dimensions {
+            if let DimensionProfile::Quantitative { name, min, max, .. } = d {
+                if name == dimension {
+                    return (*min, *max);
+                }
+            }
+        }
+        panic!("unknown quantitative dimension {dimension}");
+    }
+}
+
+#[derive(Debug)]
+struct GenState {
+    vizs: Vec<VizState>,
+    counter: usize,
+    hub: Option<usize>,
+}
+
+impl GenState {
+    fn remove(&mut self, idx: usize) {
+        self.vizs.remove(idx);
+        for v in &mut self.vizs {
+            v.targets.retain(|&t| t != idx);
+            for t in &mut v.targets {
+                if *t > idx {
+                    *t -= 1;
+                }
+            }
+        }
+        if let Some(h) = self.hub {
+            if h == idx {
+                self.hub = if self.vizs.is_empty() { None } else { Some(0) };
+            } else if h > idx {
+                self.hub = Some(h - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idebench_core::VizGraph;
+
+    /// Replays a workflow through the driver's graph; panics on invalid
+    /// interactions. Returns the number of triggered queries.
+    fn replay(wf: &Workflow) -> usize {
+        let mut graph = VizGraph::new();
+        let mut queries = 0;
+        for interaction in &wf.interactions {
+            let affected = graph
+                .apply(interaction)
+                .unwrap_or_else(|e| panic!("{}: invalid interaction: {e}", wf.name));
+            for name in &affected {
+                graph.query_for(name).expect("query composes");
+                queries += 1;
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn all_types_generate_valid_workflows() {
+        for kind in WorkflowType::ALL {
+            for seed in 0..8u64 {
+                let wf = WorkflowGenerator::new(kind, seed).generate(20);
+                assert_eq!(wf.interactions.len(), 20, "{kind:?}");
+                let queries = replay(&wf);
+                assert!(queries > 0, "{kind:?} produced no queries");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkflowGenerator::new(WorkflowType::Mixed, 7).generate(15);
+        let b = WorkflowGenerator::new(WorkflowType::Mixed, 7).generate(15);
+        assert_eq!(a, b);
+        let c = WorkflowGenerator::new(WorkflowType::Mixed, 8).generate(15);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn independent_workflows_have_no_links() {
+        for seed in 0..10u64 {
+            let wf = WorkflowGenerator::new(WorkflowType::Independent, seed).generate(25);
+            assert!(!wf
+                .interactions
+                .iter()
+                .any(|i| matches!(i, Interaction::Link { .. })));
+        }
+    }
+
+    #[test]
+    fn linking_types_produce_links_and_selects() {
+        for kind in [
+            WorkflowType::SequentialLinking,
+            WorkflowType::OneToN,
+            WorkflowType::NToOne,
+        ] {
+            let mut links = 0;
+            let mut selects = 0;
+            for seed in 0..10u64 {
+                let wf = WorkflowGenerator::new(kind, seed).generate(25);
+                links += wf
+                    .interactions
+                    .iter()
+                    .filter(|i| matches!(i, Interaction::Link { .. }))
+                    .count();
+                selects += wf
+                    .interactions
+                    .iter()
+                    .filter(|i| matches!(i, Interaction::Select { .. }))
+                    .count();
+            }
+            assert!(links > 5, "{kind:?}: too few links ({links})");
+            assert!(selects > 5, "{kind:?}: too few selections ({selects})");
+        }
+    }
+
+    #[test]
+    fn one_to_n_links_fan_out_from_hub() {
+        let wf = WorkflowGenerator::new(WorkflowType::OneToN, 3).generate(25);
+        let sources: Vec<&str> = wf
+            .interactions
+            .iter()
+            .filter_map(|i| match i {
+                Interaction::Link { source, .. } => Some(source.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!sources.is_empty());
+        assert!(
+            sources.iter().all(|&s| s == sources[0]),
+            "1:N links must share a source: {sources:?}"
+        );
+    }
+
+    #[test]
+    fn n_to_one_links_converge_on_hub() {
+        let wf = WorkflowGenerator::new(WorkflowType::NToOne, 3).generate(25);
+        let targets: Vec<&str> = wf
+            .interactions
+            .iter()
+            .filter_map(|i| match i {
+                Interaction::Link { target, .. } => Some(target.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(!targets.is_empty());
+        assert!(
+            targets.iter().all(|&t| t == targets[0]),
+            "N:1 links must share a target: {targets:?}"
+        );
+    }
+
+    #[test]
+    fn batch_generates_distinct_workflows() {
+        let batch = WorkflowGenerator::new(WorkflowType::Mixed, 42).generate_batch(10, 18);
+        assert_eq!(batch.len(), 10);
+        for wf in &batch {
+            assert_eq!(wf.interactions.len(), 18);
+            replay(wf);
+        }
+        assert_ne!(batch[0].interactions, batch[1].interactions);
+        assert_eq!(batch[3].name, "mixed_3");
+    }
+
+    #[test]
+    fn agg_mix_matches_configured_weights() {
+        // Count how many created vizs are online-eligible for XDB
+        // (single COUNT or SUM): should be roughly 35% by default.
+        let mut eligible = 0usize;
+        let mut total = 0usize;
+        for seed in 0..40u64 {
+            let wf = WorkflowGenerator::new(WorkflowType::Mixed, seed).generate(20);
+            for i in &wf.interactions {
+                if let Interaction::CreateViz { viz } = i {
+                    total += 1;
+                    let single = viz.aggregates.len() == 1;
+                    let kind_ok = matches!(viz.aggregates[0].func, AggFunc::Count | AggFunc::Sum);
+                    if single && kind_ok {
+                        eligible += 1;
+                    }
+                }
+            }
+        }
+        let frac = eligible as f64 / total as f64;
+        assert!(
+            (0.25..=0.45).contains(&frac),
+            "online-eligible fraction {frac:.2} outside expectation"
+        );
+    }
+
+    #[test]
+    fn selections_fit_source_binning() {
+        for seed in 0..10u64 {
+            let wf = WorkflowGenerator::new(WorkflowType::OneToN, seed).generate(25);
+            // Track binnings by viz name.
+            let mut binnings: std::collections::HashMap<String, Vec<BinDef>> = Default::default();
+            for i in &wf.interactions {
+                match i {
+                    Interaction::CreateViz { viz } => {
+                        binnings.insert(viz.name.clone(), viz.binning.clone());
+                    }
+                    Interaction::Select {
+                        viz,
+                        selection: Some(sel),
+                    } => {
+                        let binning = &binnings[viz];
+                        for bin in &sel.bins {
+                            assert_eq!(bin.len(), binning.len());
+                            for (coord, def) in bin.iter().zip(binning) {
+                                match (coord, def) {
+                                    (SelCoord::Category(_), BinDef::Nominal { .. }) => {}
+                                    (SelCoord::Bucket(_), BinDef::Width { .. }) => {}
+                                    other => panic!("selection/binning mismatch: {other:?}"),
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_profile_is_respected() {
+        let profile = DataProfile {
+            table: "patients".into(),
+            dimensions: vec![
+                DimensionProfile::Nominal {
+                    name: "ward".into(),
+                    categories: vec!["ICU".into(), "ER".into()],
+                },
+                DimensionProfile::Quantitative {
+                    name: "age".into(),
+                    bin_width: 10.0,
+                    anchor: 0.0,
+                    min: 0.0,
+                    max: 100.0,
+                    measure: true,
+                },
+            ],
+        };
+        let gen = WorkflowGenerator::with_profile(
+            WorkflowType::Independent,
+            1,
+            profile,
+            GeneratorConfig::default(),
+        );
+        let wf = gen.generate(12);
+        for i in &wf.interactions {
+            if let Interaction::CreateViz { viz } = i {
+                assert_eq!(viz.source, "patients");
+                for b in &viz.binning {
+                    assert!(["ward", "age"].contains(&b.dimension()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The IDEBench workload generator (paper §4.3).
+//!
+//! Workflows are sequences of user interactions resembling the four IDE
+//! exploration patterns of Figure 3 — independent browsing, sequential
+//! linking, 1:N linking, N:1 linking — plus the "mixed" workloads used in
+//! the paper's main experiment. The generator models each pattern as a
+//! Markov chain over interaction kinds with pattern-specific transition
+//! probabilities, and samples concrete binnings, aggregates, filters and
+//! selections from a (customizable) data profile.
+//!
+//! Generated workflows are plain data: JSON-(de)serializable (the paper's
+//! workflow format, Figure 4), inspectable with [`Workflow::render_text`]
+//! (the paper's "interactive viewer", terminal edition), and runnable via
+//! [`idebench_core::BenchmarkDriver`].
+
+pub mod generator;
+pub mod profile;
+pub mod store;
+
+pub use generator::{GeneratorConfig, WorkflowGenerator};
+pub use profile::{DataProfile, DimensionProfile};
+
+use idebench_core::driver::RunnableWorkflow;
+use idebench_core::Interaction;
+use serde::{Deserialize, Serialize};
+
+/// The four workflow patterns of paper Figure 3, plus mixed.
+// Serde names match `label()` so workflow JSON files and report columns
+// use the same strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkflowType {
+    /// Independent visualizations; filters affect only one viz (Fig. 3a).
+    #[serde(rename = "independent")]
+    Independent,
+    /// A chain v1 → v2 → v3 …; drill-down exploration (Fig. 3b).
+    #[serde(rename = "sequential")]
+    SequentialLinking,
+    /// One source viz fanned out to N targets (Fig. 3c).
+    #[serde(rename = "1n_linking")]
+    OneToN,
+    /// N source vizs feeding one target (Fig. 3d).
+    #[serde(rename = "n1_linking")]
+    NToOne,
+    /// A blend of all four patterns (the paper's main workload).
+    #[serde(rename = "mixed")]
+    Mixed,
+}
+
+impl WorkflowType {
+    /// All concrete types plus mixed, in presentation order.
+    pub const ALL: [WorkflowType; 5] = [
+        WorkflowType::Independent,
+        WorkflowType::SequentialLinking,
+        WorkflowType::OneToN,
+        WorkflowType::NToOne,
+        WorkflowType::Mixed,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkflowType::Independent => "independent",
+            WorkflowType::SequentialLinking => "sequential",
+            WorkflowType::OneToN => "1n_linking",
+            WorkflowType::NToOne => "n1_linking",
+            WorkflowType::Mixed => "mixed",
+        }
+    }
+}
+
+/// A generated (or hand-written) workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Unique name, e.g. `"mixed_2"`.
+    pub name: String,
+    /// The pattern it follows.
+    pub kind: WorkflowType,
+    /// The interaction sequence.
+    pub interactions: Vec<Interaction>,
+}
+
+impl Workflow {
+    /// Creates a workflow from parts.
+    pub fn new(
+        name: impl Into<String>,
+        kind: WorkflowType,
+        interactions: Vec<Interaction>,
+    ) -> Self {
+        Workflow {
+            name: name.into(),
+            kind,
+            interactions,
+        }
+    }
+
+    /// Serializes to pretty JSON (the benchmark's workflow file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workflows serialize")
+    }
+
+    /// Parses a workflow from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Renders a human-readable description (the terminal "viewer").
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "workflow {} [{}]", self.name, self.kind.label());
+        for (i, interaction) in self.interactions.iter().enumerate() {
+            let detail = match interaction {
+                Interaction::CreateViz { viz } => format!(
+                    "create {} ({}d {} / {})",
+                    viz.name,
+                    viz.bin_dims(),
+                    viz.binning_type_label(),
+                    viz.agg_type_label()
+                ),
+                Interaction::SetFilter { viz, filter } => match filter {
+                    Some(f) => format!("filter {viz} ({} predicates)", f.num_predicates()),
+                    None => format!("clear filter on {viz}"),
+                },
+                Interaction::Select { viz, selection } => match selection {
+                    Some(s) => format!("select {} bins on {viz}", s.bins.len()),
+                    None => format!("clear selection on {viz}"),
+                },
+                Interaction::Link { source, target } => format!("link {source} -> {target}"),
+                Interaction::Discard { viz } => format!("discard {viz}"),
+            };
+            let _ = writeln!(out, "  {i:>3}. {detail}");
+        }
+        out
+    }
+}
+
+impl RunnableWorkflow for Workflow {
+    fn workflow_name(&self) -> &str {
+        &self.name
+    }
+
+    fn workflow_kind(&self) -> &str {
+        self.kind.label()
+    }
+
+    fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idebench_core::spec::{AggregateSpec, BinDef};
+    use idebench_core::VizSpec;
+
+    fn tiny() -> Workflow {
+        let viz = VizSpec::new(
+            "viz_0",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        );
+        Workflow::new(
+            "demo",
+            WorkflowType::Independent,
+            vec![Interaction::CreateViz { viz }],
+        )
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let wf = tiny();
+        let js = wf.to_json();
+        let back = Workflow::from_json(&js).unwrap();
+        assert_eq!(wf, back);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(WorkflowType::Mixed.label(), "mixed");
+        assert_eq!(WorkflowType::OneToN.label(), "1n_linking");
+        assert_eq!(WorkflowType::ALL.len(), 5);
+    }
+
+    #[test]
+    fn render_text_lists_interactions() {
+        let text = tiny().render_text();
+        assert!(text.contains("workflow demo [independent]"));
+        assert!(text.contains("create viz_0"));
+    }
+
+    #[test]
+    fn runnable_workflow_impl() {
+        let wf = tiny();
+        use idebench_core::driver::RunnableWorkflow as _;
+        assert_eq!(wf.workflow_name(), "demo");
+        assert_eq!(wf.workflow_kind(), "independent");
+        assert_eq!(wf.interactions().len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Workflow file storage: the benchmark's on-disk workload format.
+//!
+//! The original benchmark ships workloads as directories of JSON workflow
+//! files; this module reads and writes that layout so workloads can be
+//! shared, versioned, and inspected ("we plan to allow other research
+//! groups … to upload … user-defined workflows in the format that they can
+//! be included in our framework", paper §6).
+
+use crate::Workflow;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes each workflow to `dir/<name>.json`, creating the directory.
+/// Returns the written paths in input order.
+pub fn save_batch(dir: &Path, workflows: &[Workflow]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(workflows.len());
+    for wf in workflows {
+        if wf.name.contains(['/', '\\']) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("workflow name {:?} is not a valid file stem", wf.name),
+            ));
+        }
+        let path = dir.join(format!("{}.json", wf.name));
+        std::fs::write(&path, wf.to_json())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Loads every `*.json` workflow in `dir`, sorted by file name.
+pub fn load_batch(dir: &Path) -> io::Result<Vec<Workflow>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path)?;
+            Workflow::from_json(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WorkflowGenerator, WorkflowType};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("idebench-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let batch = WorkflowGenerator::new(WorkflowType::Mixed, 5).generate_batch(4, 10);
+        let paths = save_batch(&dir, &batch).unwrap();
+        assert_eq!(paths.len(), 4);
+        let loaded = load_batch(&dir).unwrap();
+        assert_eq!(loaded.len(), 4);
+        // Sorted by file name == generation order for zero-padded-free
+        // names mixed_0..mixed_3.
+        assert_eq!(loaded, batch);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_json_files_ignored() {
+        let dir = tmpdir("ignore");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("README.txt"), "not a workflow").unwrap();
+        let batch = WorkflowGenerator::new(WorkflowType::Independent, 1).generate_batch(1, 5);
+        save_batch(&dir, &batch).unwrap();
+        assert_eq!(load_batch(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_reports_path() {
+        let dir = tmpdir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("broken.json"), "{ nope").unwrap();
+        let err = load_batch(&dir).unwrap_err();
+        assert!(err.to_string().contains("broken.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_workflow_name_rejected() {
+        let dir = tmpdir("hostile");
+        let mut wf = WorkflowGenerator::new(WorkflowType::Mixed, 1).generate(3);
+        wf.name = "../escape".into();
+        assert!(save_batch(&dir, &[wf]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

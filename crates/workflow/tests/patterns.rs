@@ -1,0 +1,92 @@
+//! Workload-pattern tests: each workflow type must induce the concurrency
+//! profile the paper ascribes to it (§4.3): independent browsing triggers
+//! one query per interaction, linking patterns fan out.
+
+use idebench_core::VizGraph;
+use idebench_workflow::{WorkflowGenerator, WorkflowType};
+
+/// Replays a workflow, returning the number of triggered queries per
+/// interaction.
+fn concurrency_profile(kind: WorkflowType, seed: u64, len: usize) -> Vec<usize> {
+    let wf = WorkflowGenerator::new(kind, seed).generate(len);
+    let mut graph = VizGraph::new();
+    wf.interactions
+        .iter()
+        .map(|i| graph.apply(i).expect("valid workflow").len())
+        .collect()
+}
+
+#[test]
+fn independent_browsing_never_fans_out() {
+    for seed in 0..20 {
+        let profile = concurrency_profile(WorkflowType::Independent, seed, 25);
+        assert!(
+            profile.iter().all(|&c| c <= 1),
+            "independent browsing triggered {profile:?}"
+        );
+    }
+}
+
+#[test]
+fn one_to_n_reaches_high_fanout() {
+    let mut max_fanout = 0;
+    for seed in 0..20 {
+        let profile = concurrency_profile(WorkflowType::OneToN, seed, 25);
+        max_fanout = max_fanout.max(*profile.iter().max().unwrap_or(&0));
+    }
+    assert!(
+        max_fanout >= 3,
+        "1:N workflows should update several targets at once, max {max_fanout}"
+    );
+}
+
+#[test]
+fn n_to_one_selections_update_single_target() {
+    // In N:1 the fan-in means selections touch exactly one downstream viz.
+    for seed in 0..20 {
+        let wf = WorkflowGenerator::new(WorkflowType::NToOne, seed).generate(25);
+        let mut graph = VizGraph::new();
+        for interaction in &wf.interactions {
+            let affected = graph.apply(interaction).expect("valid workflow");
+            if matches!(interaction, idebench_core::Interaction::Select { .. }) {
+                assert_eq!(affected.len(), 1, "N:1 select must update the hub only");
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_linking_cascades() {
+    // Selecting early in a chain can update multiple downstream vizs.
+    let mut saw_cascade = false;
+    for seed in 0..30 {
+        let wf = WorkflowGenerator::new(WorkflowType::SequentialLinking, seed).generate(25);
+        let mut graph = VizGraph::new();
+        for interaction in &wf.interactions {
+            let affected = graph.apply(interaction).expect("valid workflow");
+            if matches!(
+                interaction,
+                idebench_core::Interaction::Select { .. }
+                    | idebench_core::Interaction::SetFilter { .. }
+            ) && affected.len() >= 2
+            {
+                saw_cascade = true;
+            }
+        }
+    }
+    assert!(saw_cascade, "chains should cascade updates");
+}
+
+#[test]
+fn mixed_workflows_cover_all_interaction_kinds() {
+    let mut kinds = std::collections::BTreeSet::new();
+    for seed in 0..30 {
+        let wf = WorkflowGenerator::new(WorkflowType::Mixed, seed).generate(20);
+        for i in &wf.interactions {
+            kinds.insert(i.kind());
+        }
+    }
+    for expected in ["create_viz", "set_filter", "select", "link", "discard"] {
+        assert!(kinds.contains(expected), "mixed never produced {expected}");
+    }
+}

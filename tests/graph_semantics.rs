@@ -1,0 +1,155 @@
+//! Additional visualization-graph semantics: repeated links, selection
+//! clearing, filter replacement, and diamond topologies.
+
+use idebench::core::spec::{AggregateSpec, BinDef, FilterExpr, Predicate, SelCoord, Selection};
+use idebench::core::{Interaction, VizGraph, VizSpec};
+
+fn viz(name: &str) -> VizSpec {
+    VizSpec::new(
+        name,
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::count()],
+    )
+}
+
+fn create(g: &mut VizGraph, name: &str) {
+    g.apply(&Interaction::CreateViz { viz: viz(name) }).unwrap();
+}
+
+fn link(g: &mut VizGraph, s: &str, t: &str) -> Vec<String> {
+    g.apply(&Interaction::Link {
+        source: s.into(),
+        target: t.into(),
+    })
+    .unwrap()
+}
+
+fn select(g: &mut VizGraph, viz: &str, value: &str) -> Vec<String> {
+    g.apply(&Interaction::Select {
+        viz: viz.into(),
+        selection: Some(Selection {
+            bins: vec![vec![SelCoord::Category(value.into())]],
+        }),
+    })
+    .unwrap()
+}
+
+#[test]
+fn duplicate_link_does_not_double_propagate() {
+    let mut g = VizGraph::new();
+    create(&mut g, "a");
+    create(&mut g, "b");
+    link(&mut g, "a", "b");
+    link(&mut g, "a", "b"); // same edge again
+    let affected = select(&mut g, "a", "AA");
+    assert_eq!(affected, vec!["b"], "b updates once, not twice");
+    // And the composed filter contains the selection exactly once.
+    let q = g.query_for("b").unwrap();
+    assert_eq!(q.filter_specificity(), 1);
+}
+
+#[test]
+fn clearing_a_selection_restores_the_unfiltered_query() {
+    let mut g = VizGraph::new();
+    create(&mut g, "a");
+    create(&mut g, "b");
+    link(&mut g, "a", "b");
+    select(&mut g, "a", "AA");
+    assert_eq!(g.query_for("b").unwrap().filter_specificity(), 1);
+    let affected = g
+        .apply(&Interaction::Select {
+            viz: "a".into(),
+            selection: None,
+        })
+        .unwrap();
+    assert_eq!(affected, vec!["b"]);
+    assert_eq!(g.query_for("b").unwrap().filter_specificity(), 0);
+}
+
+#[test]
+fn setting_a_new_filter_replaces_the_old_one() {
+    let mut g = VizGraph::new();
+    create(&mut g, "a");
+    let f1 = FilterExpr::Pred(Predicate::In {
+        column: "carrier".into(),
+        values: vec!["AA".into()],
+    });
+    let f2 = FilterExpr::Pred(Predicate::Range {
+        column: "dep_delay".into(),
+        min: 0.0,
+        max: 10.0,
+    });
+    g.apply(&Interaction::SetFilter {
+        viz: "a".into(),
+        filter: Some(f1),
+    })
+    .unwrap();
+    g.apply(&Interaction::SetFilter {
+        viz: "a".into(),
+        filter: Some(f2),
+    })
+    .unwrap();
+    let q = g.query_for("a").unwrap();
+    // Replacement, not accumulation.
+    assert_eq!(q.filter_specificity(), 1);
+    assert!(q.referenced_columns().contains(&"dep_delay"));
+    assert!(!q
+        .referenced_columns()
+        .iter()
+        .filter(|c| **c == "carrier")
+        .count()
+        .gt(&1));
+}
+
+#[test]
+fn diamond_topology_updates_target_once_with_both_paths() {
+    // a → b → d and a → c → d: selecting on a updates b, c, d (once each),
+    // and d's query sees a's selection exactly once despite two paths.
+    let mut g = VizGraph::new();
+    for n in ["a", "b", "c", "d"] {
+        create(&mut g, n);
+    }
+    link(&mut g, "a", "b");
+    link(&mut g, "a", "c");
+    link(&mut g, "b", "d");
+    link(&mut g, "c", "d");
+    let affected = select(&mut g, "a", "AA");
+    assert_eq!(affected.len(), 3, "b, c, d each update once: {affected:?}");
+    let q = g.query_for("d").unwrap();
+    assert_eq!(
+        q.filter_specificity(),
+        1,
+        "upstream selection composed once across the diamond"
+    );
+}
+
+#[test]
+fn discarding_mid_chain_splits_the_cascade() {
+    let mut g = VizGraph::new();
+    for n in ["a", "b", "c"] {
+        create(&mut g, n);
+    }
+    link(&mut g, "a", "b");
+    link(&mut g, "b", "c");
+    g.apply(&Interaction::Discard { viz: "b".into() }).unwrap();
+    // a's selections now reach nothing.
+    let affected = select(&mut g, "a", "AA");
+    assert!(affected.is_empty(), "chain severed: {affected:?}");
+    // c no longer inherits anything from a.
+    assert_eq!(g.query_for("c").unwrap().filter_specificity(), 0);
+}
+
+#[test]
+fn relinking_after_discard_is_allowed() {
+    let mut g = VizGraph::new();
+    create(&mut g, "a");
+    create(&mut g, "b");
+    link(&mut g, "a", "b");
+    g.apply(&Interaction::Discard { viz: "b".into() }).unwrap();
+    create(&mut g, "b2");
+    let affected = link(&mut g, "a", "b2");
+    assert_eq!(affected, vec!["b2"]);
+}

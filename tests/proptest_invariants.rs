@@ -1,0 +1,351 @@
+//! Property-based tests of core invariants, spanning storage, metrics,
+//! estimators, the workload generator, and the driver.
+
+use idebench::core::spec::{AggFunc, AggregateSpec, BinDef, FilterExpr, Predicate};
+use idebench::core::{AggResult, BinCoord, BinKey, BinStats, Metrics, Query, VizSpec};
+use idebench::query::{execute_exact, ChunkedRun, SnapshotMode};
+use idebench::storage::{DataType, Dataset, SelVec, TableBuilder, Value};
+use idebench::workflow::{WorkflowGenerator, WorkflowType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- storage
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SelVec set algebra agrees with a naive Vec<bool> model.
+    #[test]
+    fn selvec_matches_bool_model(bits_a in prop::collection::vec(any::<bool>(), 1..200),
+                                 bits_b_seed in any::<u64>()) {
+        let n = bits_a.len();
+        // Derive b deterministically from the seed so lengths match.
+        let bits_b: Vec<bool> = (0..n).map(|i| (bits_b_seed >> (i % 64)) & 1 == 1).collect();
+        let a = SelVec::from_bools(n, bits_a.iter().copied());
+        let b = SelVec::from_bools(n, bits_b.iter().copied());
+
+        let mut and = a.clone();
+        and.intersect(&b);
+        let mut or = a.clone();
+        or.union(&b);
+        let mut not = a.clone();
+        not.negate();
+
+        for i in 0..n {
+            prop_assert_eq!(and.contains(i), bits_a[i] && bits_b[i]);
+            prop_assert_eq!(or.contains(i), bits_a[i] || bits_b[i]);
+            prop_assert_eq!(not.contains(i), !bits_a[i]);
+        }
+        prop_assert_eq!(a.count(), bits_a.iter().filter(|&&x| x).count());
+        prop_assert_eq!(a.iter().count(), a.count());
+    }
+
+    /// CSV serialization round-trips arbitrary typed tables.
+    #[test]
+    fn csv_roundtrip(rows in prop::collection::vec(
+        (any::<i32>(), -1000.0f64..1000.0, "[a-z]{1,6}", any::<bool>()), 1..40)) {
+        let mut b = TableBuilder::with_fields(
+            "t",
+            &[("i", DataType::Int), ("f", DataType::Float), ("s", DataType::Nominal)],
+        );
+        for (i, f, s, null_f) in &rows {
+            let fval = if *null_f { Value::Null } else { Value::Float(*f) };
+            b.push_row(&[Value::Int(i64::from(*i)), fval, Value::Str(s.clone())]).unwrap();
+        }
+        let t = b.finish();
+        let mut buf = Vec::new();
+        idebench::storage::write_csv(&t, &mut buf).unwrap();
+        let back = idebench::storage::read_csv("t", buf.as_slice()).unwrap();
+        prop_assert_eq!(back.num_rows(), t.num_rows());
+        for row in 0..t.num_rows() {
+            for col in 0..t.num_columns() {
+                prop_assert_eq!(t.value_at(col, row), back.value_at(col, row));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- metrics
+
+fn arb_result(max_bins: usize) -> impl Strategy<Value = AggResult> {
+    prop::collection::btree_map(
+        0i64..max_bins as i64,
+        (0.1f64..1e4, 0.0f64..10.0),
+        1..max_bins,
+    )
+    .prop_map(|bins| {
+        let mut r = AggResult {
+            processed_fraction: 0.5,
+            ..AggResult::default()
+        };
+        for (k, (v, m)) in bins {
+            r.insert(
+                BinKey::d1(BinCoord::Bucket(k)),
+                BinStats::approximate(vec![v], vec![m]),
+            );
+        }
+        r
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Metric ranges hold for arbitrary result/ground-truth pairs.
+    #[test]
+    fn metric_ranges(result in arb_result(20), mut gt in arb_result(20)) {
+        gt.exact = true;
+        gt.processed_fraction = 1.0;
+        let m = Metrics::evaluate(&result, &gt);
+        prop_assert!((0.0..=1.0).contains(&m.missing_bins));
+        if let Some(c) = m.cosine_distance {
+            prop_assert!((0.0..=1.0).contains(&c), "cosine {c}");
+        }
+        if let Some(s) = m.smape {
+            prop_assert!((0.0..=1.0).contains(&s), "smape {s}");
+        }
+        if let Some(e) = m.rel_error_avg {
+            prop_assert!(e >= 0.0);
+        }
+        prop_assert!(m.bins_delivered == result.bins_delivered());
+        prop_assert!(m.bins_out_of_margin <= m.bins_delivered);
+    }
+
+    /// A result compared against itself is perfect.
+    #[test]
+    fn self_comparison_is_perfect(mut r in arb_result(20)) {
+        r.exact = true;
+        let m = Metrics::evaluate(&r, &r);
+        prop_assert_eq!(m.missing_bins, 0.0);
+        prop_assert_eq!(m.rel_error_avg, Some(0.0));
+        prop_assert!(m.cosine_distance.unwrap() < 1e-9);
+        prop_assert_eq!(m.bins_out_of_margin, 0);
+    }
+}
+
+// ------------------------------------------------------------- estimators
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A completed chunked scan equals the one-shot exact executor no
+    /// matter how the budget is sliced.
+    #[test]
+    fn chunked_equals_oneshot(budget in 1u64..5_000, rows in 100usize..2_000) {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[("carrier", DataType::Nominal), ("dep_delay", DataType::Float)],
+        );
+        for i in 0..rows {
+            let c = if i % 7 < 3 { "AA" } else { "DL" };
+            b.push_row(&[c.into(), ((i % 101) as f64).into()]).unwrap();
+        }
+        let ds = Dataset::Denormalized(Arc::new(b.finish()));
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Width { dimension: "dep_delay".into(), width: 20.0, anchor: 0.0 }],
+            vec![AggregateSpec::count(), AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        );
+        let q = Query::for_viz(&spec, Some(FilterExpr::Pred(Predicate::In {
+            column: "carrier".into(),
+            values: vec!["AA".into()],
+        })));
+        let mut run = ChunkedRun::new(ds.clone(), q.clone(), SnapshotMode::Exact).unwrap();
+        while !run.is_done() {
+            let used = run.advance(budget);
+            if used == 0 && !run.is_done() {
+                // Budget below row cost cannot progress; top it up.
+                run.advance(budget + 8);
+            }
+        }
+        prop_assert_eq!(run.snapshot().unwrap(), execute_exact(&ds, &q).unwrap());
+    }
+
+    /// Count estimates from a shuffled prefix hit the truth within a few
+    /// margins (CLT sanity at fixed seeds).
+    #[test]
+    fn estimates_within_margins(seed in 0u64..30) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let rows = 8_000usize;
+        let t = idebench::datagen::flights::generate(rows, seed);
+        let ds = Dataset::Denormalized(Arc::new(t));
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Nominal { dimension: "carrier".into() }],
+            vec![AggregateSpec::count()],
+        );
+        let q = Query::for_viz(&spec, None);
+        let mut order: Vec<u32> = (0..rows as u32).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let mut run = ChunkedRun::with_order(
+            ds.clone(),
+            q.clone(),
+            Some(Arc::new(order)),
+            SnapshotMode::Estimate { z: 1.96, population: rows as u64 },
+        ).unwrap();
+        run.advance(rows as u64 / 5); // 20% sample
+        let est = run.snapshot().unwrap();
+        let gt = execute_exact(&ds, &q).unwrap();
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for (key, stats) in &gt.bins {
+            let Some(bin) = est.bins.get(key) else { continue };
+            total += 1;
+            // Allow 2 margins of slack: the margin itself is estimated.
+            if (bin.values[0] - stats.values[0]).abs() <= 2.0 * bin.margins[0] + 1e-9 {
+                inside += 1;
+            }
+        }
+        prop_assert!(total > 0);
+        prop_assert!(
+            inside as f64 >= total as f64 * 0.9,
+            "{inside}/{total} bins within 2 margins"
+        );
+    }
+}
+
+// -------------------------------------------------------------- generator
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any generated workflow replays through the viz graph without error
+    /// and composes valid queries.
+    #[test]
+    fn generated_workflows_always_valid(seed in any::<u64>(), kind_idx in 0usize..5,
+                                        len in 1usize..30) {
+        let kind = WorkflowType::ALL[kind_idx];
+        let wf = WorkflowGenerator::new(kind, seed).generate(len);
+        prop_assert_eq!(wf.interactions.len(), len);
+        let mut graph = idebench::core::VizGraph::new();
+        for interaction in &wf.interactions {
+            let affected = graph.apply(interaction)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            for viz in affected {
+                graph.query_for(&viz)
+                    .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            }
+        }
+    }
+
+    /// Workflow JSON round-trips for arbitrary generated workflows.
+    #[test]
+    fn workflow_json_roundtrip(seed in any::<u64>(), kind_idx in 0usize..5) {
+        let kind = WorkflowType::ALL[kind_idx];
+        let wf = WorkflowGenerator::new(kind, seed).generate(10);
+        let back = idebench::workflow::Workflow::from_json(&wf.to_json())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(wf, back);
+    }
+}
+
+// ------------------------------------------------------- binning semantics
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selecting a bin of a 1D count histogram and re-querying with the
+    /// derived filter returns exactly that bin's count: the graph's
+    /// selection→filter translation agrees with the binning semantics.
+    #[test]
+    fn bin_selection_filter_roundtrip(seed in 0u64..40, width in 1u32..40) {
+        use idebench::core::spec::{SelCoord, Selection};
+        use idebench::core::VizGraph;
+        use idebench::core::Interaction;
+
+        let width = f64::from(width);
+        let t = idebench::datagen::flights::generate(2_000, seed);
+        let ds = Dataset::Denormalized(Arc::new(t));
+        let source = VizSpec::new(
+            "src",
+            "flights",
+            vec![BinDef::Width { dimension: "dep_delay".into(), width, anchor: 0.0 }],
+            vec![AggregateSpec::count()],
+        );
+        let target = VizSpec::new(
+            "tgt",
+            "flights",
+            vec![BinDef::Nominal { dimension: "carrier".into() }],
+            vec![AggregateSpec::count()],
+        );
+        let sq = Query::for_viz(&source, None);
+        let hist = execute_exact(&ds, &sq).unwrap();
+        // Pick the lexicographically smallest populated bin.
+        let (key, stats) = hist.sorted_bins().into_iter().next().unwrap();
+        let BinCoord::Bucket(bucket) = key.coords()[0] else {
+            return Err(TestCaseError::fail("width binning yields buckets"));
+        };
+
+        let mut graph = VizGraph::new();
+        graph.apply(&Interaction::CreateViz { viz: source.clone() }).unwrap();
+        graph.apply(&Interaction::CreateViz { viz: target }).unwrap();
+        graph.apply(&Interaction::Link { source: "src".into(), target: "tgt".into() }).unwrap();
+        graph.apply(&Interaction::Select {
+            viz: "src".into(),
+            selection: Some(Selection { bins: vec![vec![SelCoord::Bucket(bucket)]] }),
+        }).unwrap();
+        let tq = graph.query_for("tgt").unwrap();
+        let filtered = execute_exact(&ds, &tq).unwrap();
+        let total: f64 = filtered.bins.values().map(|b| b.values[0]).sum();
+        prop_assert!(
+            (total - stats.values[0]).abs() < 1e-9,
+            "selected-bin count {} vs filtered total {total}", stats.values[0]
+        );
+    }
+}
+
+// ------------------------------------------------- star/denorm equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every query of a generated workflow returns identical exact results
+    /// on the de-normalized table and its star-schema normalization (join
+    /// correctness over the full query space the generator can produce).
+    #[test]
+    fn star_schema_preserves_exact_results(seed in 0u64..40) {
+        let table = idebench::datagen::flights::generate(3_000, seed);
+        let denorm = Dataset::Denormalized(Arc::new(table.clone()));
+        let star = idebench::datagen::normalize_flights(&table)
+            .map_err(TestCaseError::fail)?;
+        let wf = WorkflowGenerator::new(WorkflowType::Mixed, seed).generate(12);
+        let slices = [wf.interactions.as_slice()];
+        let queries = idebench::query::enumerate_workload_queries(&denorm, &slices)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        for q in &queries {
+            let flat = execute_exact(&denorm, q)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            let starred = execute_exact(&star, q)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            // Dictionaries are built in identical first-seen order on both
+            // paths, so results must be bit-identical.
+            prop_assert_eq!(&flat, &starred, "query {:?}", q.canonical_key());
+        }
+    }
+}
+
+// ------------------------------------------------------------------ datagen
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Copula-scaled data never exceeds the seed's per-column value range
+    /// and preserves row count exactly.
+    #[test]
+    fn copula_respects_seed_ranges(n in 20usize..200, seed in 0u64..50) {
+        let seed_table = idebench::datagen::flights::generate(500, seed);
+        let scaled = idebench::datagen::CopulaScaler::scale(&seed_table, 400, n, seed + 1);
+        prop_assert_eq!(scaled.num_rows(), n);
+        for col in ["dep_delay", "distance", "air_time"] {
+            let s = seed_table.column(col).unwrap().as_float().unwrap();
+            let g = scaled.column(col).unwrap().as_float().unwrap();
+            let (smin, smax) = s.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            for &v in g {
+                prop_assert!(v >= smin - 1e-9 && v <= smax + 1e-9, "{col}: {v} outside [{smin}, {smax}]");
+            }
+        }
+    }
+}

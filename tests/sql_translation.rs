@@ -1,0 +1,161 @@
+//! Golden tests for the Figure-4 pipeline: JSON workflow specification →
+//! composed queries → SQL text.
+
+use idebench::core::spec::{SelCoord, Selection};
+use idebench::core::{Interaction, VizGraph};
+use idebench::query::to_sql;
+use idebench::workflow::Workflow;
+
+/// The 1:N workflow of paper Figure 4, in this crate's JSON dialect.
+const FIGURE4_JSON: &str = r#"{
+  "name": "fig4",
+  "kind": "1n_linking",
+  "interactions": [
+    {
+      "interaction": "create_viz",
+      "viz": {
+        "name": "viz_0",
+        "source": "flights",
+        "binning": [ { "type": "nominal", "dimension": "carrier" } ],
+        "aggregates": [ { "type": "count" } ]
+      }
+    },
+    {
+      "interaction": "create_viz",
+      "viz": {
+        "name": "viz_1",
+        "source": "flights",
+        "binning": [
+          { "type": "width", "dimension": "dep_delay", "width": 10.0, "anchor": 0.0 }
+        ],
+        "aggregates": [ { "type": "avg", "dimension": "arr_delay" } ]
+      }
+    },
+    {
+      "interaction": "create_viz",
+      "viz": {
+        "name": "viz_2",
+        "source": "flights",
+        "binning": [ { "type": "nominal", "dimension": "origin_state" } ],
+        "aggregates": [ { "type": "count" } ]
+      }
+    },
+    { "interaction": "link", "source": "viz_0", "target": "viz_1" },
+    { "interaction": "link", "source": "viz_0", "target": "viz_2" }
+  ]
+}"#;
+
+/// Replays interactions, returning the SQL of each triggered query.
+fn triggered_sql(workflow: &Workflow) -> Vec<(String, String)> {
+    let mut graph = VizGraph::new();
+    let mut out = Vec::new();
+    for interaction in &workflow.interactions {
+        for viz in graph.apply(interaction).expect("valid workflow") {
+            let q = graph.query_for(&viz).expect("query composes");
+            out.push((viz, to_sql(&q, None)));
+        }
+    }
+    out
+}
+
+#[test]
+fn figure4_unselected_queries() {
+    let wf = Workflow::from_json(FIGURE4_JSON).unwrap();
+    let sql = triggered_sql(&wf);
+    assert_eq!(
+        sql[0].1,
+        "SELECT carrier AS bin_0, COUNT(*) FROM flights GROUP BY bin_0"
+    );
+    assert_eq!(
+        sql[1].1,
+        "SELECT FLOOR(dep_delay / 10) * 10 AS bin_0, AVG(arr_delay) FROM flights GROUP BY bin_0"
+    );
+    assert_eq!(
+        sql[2].1,
+        "SELECT origin_state AS bin_0, COUNT(*) FROM flights GROUP BY bin_0"
+    );
+    // Linking viz_0 → viz_1 re-queries viz_1 (no selection yet → same SQL).
+    assert_eq!(sql[3].0, "viz_1");
+    assert_eq!(sql[3].1, sql[1].1);
+}
+
+#[test]
+fn figure4_selection_fans_out_with_where_clauses() {
+    let wf = Workflow::from_json(FIGURE4_JSON).unwrap();
+    let mut graph = VizGraph::new();
+    for interaction in &wf.interactions {
+        graph.apply(interaction).unwrap();
+    }
+    // The Figure-4 moment: selecting a carrier bin on viz_0 updates both
+    // linked targets with a WHERE clause.
+    let affected = graph
+        .apply(&Interaction::Select {
+            viz: "viz_0".into(),
+            selection: Some(Selection {
+                bins: vec![vec![SelCoord::Category("AA".into())]],
+            }),
+        })
+        .unwrap();
+    assert_eq!(affected, vec!["viz_1", "viz_2"]);
+    let q1 = graph.query_for("viz_1").unwrap();
+    assert_eq!(
+        to_sql(&q1, None),
+        "SELECT FLOOR(dep_delay / 10) * 10 AS bin_0, AVG(arr_delay) FROM flights \
+         WHERE carrier IN ('AA') GROUP BY bin_0"
+    );
+    let q2 = graph.query_for("viz_2").unwrap();
+    assert_eq!(
+        to_sql(&q2, None),
+        "SELECT origin_state AS bin_0, COUNT(*) FROM flights \
+         WHERE carrier IN ('AA') GROUP BY bin_0"
+    );
+}
+
+#[test]
+fn multi_bin_selection_renders_or() {
+    let wf = Workflow::from_json(FIGURE4_JSON).unwrap();
+    let mut graph = VizGraph::new();
+    for interaction in &wf.interactions {
+        graph.apply(interaction).unwrap();
+    }
+    graph
+        .apply(&Interaction::Select {
+            viz: "viz_0".into(),
+            selection: Some(Selection {
+                bins: vec![
+                    vec![SelCoord::Category("AA".into())],
+                    vec![SelCoord::Category("DL".into())],
+                ],
+            }),
+        })
+        .unwrap();
+    let sql = to_sql(&graph.query_for("viz_2").unwrap(), None);
+    assert!(
+        sql.contains("WHERE (carrier IN ('AA') OR carrier IN ('DL'))"),
+        "got: {sql}"
+    );
+}
+
+#[test]
+fn star_schema_sql_renders_joins() {
+    let table = idebench::datagen::flights::generate(1_000, 1);
+    let star_ds = idebench::datagen::normalize_flights(&table).unwrap();
+    let star = star_ds.as_star().unwrap();
+    let wf = Workflow::from_json(FIGURE4_JSON).unwrap();
+    let mut graph = VizGraph::new();
+    graph.apply(&wf.interactions[0]).unwrap(); // carrier viz
+    let q = graph.query_for("viz_0").unwrap();
+    let sql = to_sql(&q, Some(star));
+    assert!(
+        sql.contains("JOIN carriers ON flights.carrier_key = carriers.rowid"),
+        "got: {sql}"
+    );
+}
+
+#[test]
+fn workflow_json_roundtrip_preserves_semantics() {
+    let wf = Workflow::from_json(FIGURE4_JSON).unwrap();
+    let back = Workflow::from_json(&wf.to_json()).unwrap();
+    assert_eq!(wf, back);
+    assert_eq!(triggered_sql(&wf), triggered_sql(&back));
+}
