@@ -96,5 +96,32 @@ fn bench_engines(c: &mut Criterion) {
     c2.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// Fine-grained stepping: many small budget grants over one handle. This is
+/// the pattern the driver's TR enforcement produces, and the case the
+/// owned-plan refactor targets — plan compilation happens once at submit,
+/// so per-step cost is binding + morsel kernels only.
+fn bench_step_granularity(c: &mut Criterion) {
+    let ds = dataset();
+    let settings = Settings::default();
+    let mut group = c.benchmark_group("engine_step_granularity");
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    let mut exact = ExactAdapter::with_defaults();
+    exact.prepare(&ds, &settings).unwrap();
+    for quantum in [4_096u64, 16_384, 262_144] {
+        group.bench_with_input(
+            BenchmarkId::new("exact_full_scan", quantum),
+            &quantum,
+            |b, &quantum| {
+                b.iter(|| {
+                    let mut handle = exact.submit(&avg_query());
+                    while !handle.step(quantum).is_done() {}
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_step_granularity);
 criterion_main!(benches);

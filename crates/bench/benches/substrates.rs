@@ -1,11 +1,11 @@
 //! Criterion micro-benchmarks of the substrates: data generation, copula
 //! scaling, normalization, filtering, binning and ground-truth execution.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
 use idebench_core::{FilterExpr, Predicate, Query, VizSpec};
 use idebench_datagen::{normalize_flights, CopulaScaler};
-use idebench_query::{execute_exact, CompiledFilter};
+use idebench_query::{execute_exact, execute_exact_scalar, CompiledFilter};
 use idebench_storage::Dataset;
 use std::sync::Arc;
 
@@ -97,5 +97,47 @@ fn bench_query_eval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_datagen, bench_query_eval);
+/// Vectorized morsel path vs the retained scalar reference path on the
+/// canonical filtered 1D-nominal aggregation — the microbenchmark that pins
+/// the batch-execution speedup (expected ≥ 3×; see BENCH_scan.json).
+fn bench_vectorized_vs_scalar(c: &mut Criterion) {
+    let rows = 500_000usize;
+    let ds = Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(rows, 42)));
+    let q = Query::for_viz(
+        &VizSpec::new(
+            "b",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        ),
+        Some(FilterExpr::Pred(Predicate::In {
+            column: "carrier".into(),
+            values: vec!["C00".into(), "C01".into(), "C02".into()],
+        })),
+    );
+    assert_eq!(
+        execute_exact(&ds, &q).unwrap(),
+        execute_exact_scalar(&ds, &q).unwrap(),
+        "paths must agree before comparing their speed"
+    );
+    let mut group = c.benchmark_group("scan_paths");
+    group.throughput(Throughput::Elements(rows as u64));
+    group.bench_function(
+        BenchmarkId::new("vectorized", "filtered_1d_nominal_avg"),
+        |b| b.iter(|| execute_exact(&ds, &q).unwrap()),
+    );
+    group.bench_function(BenchmarkId::new("scalar", "filtered_1d_nominal_avg"), |b| {
+        b.iter(|| execute_exact_scalar(&ds, &q).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_datagen,
+    bench_query_eval,
+    bench_vectorized_vs_scalar
+);
 criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Scan-throughput benchmark: emits `BENCH_scan.json` with rows/sec for the
+//! vectorized execution core on the paper's canonical scan shapes, plus the
+//! retained scalar reference path for the speedup ratio.
+
+use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
+use idebench_core::{FilterExpr, Predicate, Query, VizSpec};
+use idebench_query::{execute_exact, execute_exact_scalar};
+use idebench_storage::Dataset;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ROWS: usize = 500_000;
+
+fn time_rows_per_sec(rows: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up, then best of several measured repetitions.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    rows as f64 / best
+}
+
+fn filtered_1d_nominal() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+    );
+    Query::for_viz(
+        &spec,
+        Some(
+            FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["C00".into(), "C01".into(), "C02".into()],
+            })
+            .and(FilterExpr::Pred(Predicate::Range {
+                column: "dep_delay".into(),
+                min: 0.0,
+                max: 60.0,
+            })),
+        ),
+    )
+}
+
+fn exact_scan() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::count()],
+    );
+    Query::for_viz(&spec, None)
+}
+
+fn binned_2d() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![
+            BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            },
+            BinDef::Width {
+                dimension: "arr_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            },
+        ],
+        vec![
+            AggregateSpec::count(),
+            AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+        ],
+    );
+    Query::for_viz(&spec, None)
+}
+
+fn main() {
+    let ds = Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(ROWS, 42)));
+
+    let cases: [(&str, Query); 3] = [
+        ("exact_scan_1d_nominal_count", exact_scan()),
+        ("filtered_scan_1d_nominal_avg", filtered_1d_nominal()),
+        ("binned_2d_agg", binned_2d()),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, q) in &cases {
+        assert_eq!(
+            execute_exact(&ds, q).unwrap(),
+            execute_exact_scalar(&ds, q).unwrap(),
+            "vectorized and scalar paths must agree on {name}"
+        );
+        let vec_rps = time_rows_per_sec(ROWS, || {
+            let _ = execute_exact(&ds, q).unwrap();
+        });
+        let scalar_rps = time_rows_per_sec(ROWS, || {
+            let _ = execute_exact_scalar(&ds, q).unwrap();
+        });
+        let speedup = vec_rps / scalar_rps;
+        println!(
+            "{name:<32} vectorized {vec_rps:>12.0} rows/s   scalar {scalar_rps:>12.0} rows/s   speedup {speedup:.2}x"
+        );
+        entries.push(serde_json::json!({
+            "case": name,
+            "rows": ROWS,
+            "vectorized_rows_per_sec": vec_rps,
+            "scalar_rows_per_sec": scalar_rps,
+            "speedup": speedup,
+        }));
+    }
+    let report = serde_json::json!({ "benchmark": "scan", "cases": entries });
+    std::fs::write(
+        "BENCH_scan.json",
+        serde_json::to_string_pretty(&report).unwrap(),
+    )
+    .expect("write BENCH_scan.json");
+    println!("wrote BENCH_scan.json");
+}

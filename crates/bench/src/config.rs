@@ -181,8 +181,10 @@ impl BenchmarkConfig {
         let workflows = self.workflows()?;
         // Pre-compute ground truth for the whole workload in parallel —
         // it is shared by every (system, TR) cell below.
-        let interaction_slices: Vec<&[idebench_core::Interaction]> =
-            workflows.iter().map(|w| w.interactions.as_slice()).collect();
+        let interaction_slices: Vec<&[idebench_core::Interaction]> = workflows
+            .iter()
+            .map(|w| w.interactions.as_slice())
+            .collect();
         let distinct = idebench_query::enumerate_workload_queries(&dataset, &interaction_slices)?;
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
         let mut gt = CachedGroundTruth::precompute(dataset.clone(), &distinct, threads);

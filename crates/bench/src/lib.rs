@@ -189,8 +189,10 @@ pub fn default_workflows(kind: WorkflowType, seed: u64, count: usize, len: usize
 /// Experiment binaries call this once and reuse the oracle across every
 /// (system, TR) configuration cell.
 pub fn parallel_ground_truth(dataset: &Dataset, workflows: &[Workflow]) -> CachedGroundTruth {
-    let slices: Vec<&[idebench_core::Interaction]> =
-        workflows.iter().map(|w| w.interactions.as_slice()).collect();
+    let slices: Vec<&[idebench_core::Interaction]> = workflows
+        .iter()
+        .map(|w| w.interactions.as_slice())
+        .collect();
     let distinct = idebench_query::enumerate_workload_queries(dataset, &slices)
         .expect("workload queries bind against the dataset");
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());

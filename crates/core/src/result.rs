@@ -117,21 +117,16 @@ mod bins_as_pairs {
     //! Serde helper: bin maps as ordered `[key, stats]` pair lists.
     use super::{BinKey, BinStats};
     use rustc_hash::FxHashMap;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Serialize};
 
-    pub fn serialize<S: Serializer>(
-        bins: &FxHashMap<BinKey, BinStats>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn to_json(bins: &FxHashMap<BinKey, BinStats>) -> serde::Value {
         let mut pairs: Vec<(&BinKey, &BinStats)> = bins.iter().collect();
         pairs.sort_by(|a, b| a.0.cmp(b.0));
-        pairs.serialize(ser)
+        Serialize::to_json(&pairs)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<FxHashMap<BinKey, BinStats>, D::Error> {
-        let pairs: Vec<(BinKey, BinStats)> = Vec::deserialize(de)?;
+    pub fn from_json(v: &serde::Value) -> Result<FxHashMap<BinKey, BinStats>, serde::DeError> {
+        let pairs: Vec<(BinKey, BinStats)> = Deserialize::from_json(v)?;
         Ok(pairs.into_iter().collect())
     }
 }

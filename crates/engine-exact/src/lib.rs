@@ -14,7 +14,7 @@
 use idebench_core::{
     CoreError, PrepStats, Query, QueryHandle, Settings, StepStatus, SystemAdapter,
 };
-use idebench_query::{ChunkedRun, ResolvedQuery, SnapshotMode};
+use idebench_query::{ChunkedRun, CompiledPlan, SnapshotMode};
 use idebench_storage::Dataset;
 
 /// Cost-model and preparation constants for the exact engine.
@@ -61,11 +61,11 @@ impl Default for ExactConfig {
 }
 
 impl ExactConfig {
-    /// Per-row work-unit cost for a resolved query.
-    pub fn row_cost(&self, resolved: &ResolvedQuery<'_>) -> f64 {
+    /// Per-row work-unit cost for a compiled plan.
+    pub fn row_cost(&self, plan: &CompiledPlan) -> f64 {
         self.cost_base
-            + self.cost_per_width_unit * resolved.width_units
-            + self.cost_per_fact_column * resolved.fact_arity as f64
+            + self.cost_per_width_unit * plan.width_units()
+            + self.cost_per_fact_column * plan.fact_arity() as f64
     }
 }
 
@@ -126,12 +126,11 @@ impl SystemAdapter for ExactAdapter {
 
     fn submit(&mut self, query: &Query) -> Box<dyn QueryHandle> {
         let dataset = self.dataset().clone();
-        let resolved = ResolvedQuery::new(&dataset, query)
+        // One compilation serves both the cost model and the entire scan.
+        let plan = CompiledPlan::compile(&dataset, query)
             .expect("driver-validated query binds against the dataset");
-        let cost = self.config.row_cost(&resolved);
-        drop(resolved);
-        let mut run = ChunkedRun::new(dataset, query.clone(), SnapshotMode::Exact)
-            .expect("query resolved above");
+        let cost = self.config.row_cost(&plan);
+        let mut run = ChunkedRun::from_plan(plan, None, SnapshotMode::Exact);
         run.set_row_cost(cost);
         run.set_match_cost(self.config.match_cost);
         Box::new(ExactHandle { run })
@@ -287,11 +286,11 @@ mod tests {
     fn cost_model_scales_with_width_and_arity() {
         let ds = dataset(10);
         let q = query();
-        let resolved = ResolvedQuery::new(&ds, &q).unwrap();
+        let plan = CompiledPlan::compile(&ds, &q).unwrap();
         let cfg = ExactConfig::default();
         // width: carrier (1) + dep_delay (2) = 3; arity 2.
         let expect = 0.02 + 0.015 * 3.0 + 0.006 * 2.0;
-        assert!((cfg.row_cost(&resolved) - expect).abs() < 1e-12);
+        assert!((cfg.row_cost(&plan) - expect).abs() < 1e-12);
     }
 
     #[test]
@@ -312,15 +311,15 @@ mod tests {
             vec![AggregateSpec::count()],
         );
         let q = Query::for_viz(&spec, None);
-        let denorm_cost = cfg.row_cost(&ResolvedQuery::new(&denorm, &q).unwrap());
-        let star_cost = cfg.row_cost(&ResolvedQuery::new(&star, &q).unwrap());
+        let denorm_cost = cfg.row_cost(&CompiledPlan::compile(&denorm, &q).unwrap());
+        let star_cost = cfg.row_cost(&CompiledPlan::compile(&star, &q).unwrap());
         // Both tables have 2 columns here, so costs tie; with the real
         // flights schema (13 cols denorm vs 11 normalized) the normalized
         // fact is cheaper. Assert the model is monotone in arity instead.
         assert_eq!(denorm_cost, star_cost);
         let mut wide_cfg = cfg;
         wide_cfg.cost_per_fact_column = 0.1;
-        assert!(wide_cfg.row_cost(&ResolvedQuery::new(&denorm, &q).unwrap()) > denorm_cost);
+        assert!(wide_cfg.row_cost(&CompiledPlan::compile(&denorm, &q).unwrap()) > denorm_cost);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use idebench_core::{
     AggResult, BinCoord, BinDef, BinKey, CoreError, FilterExpr, Predicate, PrepStats, Query,
     QueryHandle, Settings, StepStatus, SystemAdapter,
 };
-use idebench_query::{ChunkedRun, ResolvedQuery, SnapshotMode};
+use idebench_query::{ChunkedRun, CompiledPlan, SnapshotMode};
 use idebench_storage::Dataset;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -77,9 +77,9 @@ impl Default for ProgressiveConfig {
 }
 
 impl ProgressiveConfig {
-    /// Per-row work-unit cost for a resolved query.
-    pub fn row_cost(&self, resolved: &ResolvedQuery<'_>) -> f64 {
-        self.cost_base + self.cost_per_width_unit * resolved.width_units
+    /// Per-row work-unit cost for a compiled plan.
+    pub fn row_cost(&self, plan: &CompiledPlan) -> f64 {
+        self.cost_base + self.cost_per_width_unit * plan.width_units()
     }
 }
 
@@ -159,19 +159,18 @@ impl ProgressiveAdapter {
             .as_ref()
             .expect("prepare() must run before submit()")
             .clone();
-        let resolved = ResolvedQuery::new(&dataset, query)?;
-        let cost = self.config.row_cost(&resolved);
-        let population = resolved.num_rows as u64;
-        drop(resolved);
-        let mut run = ChunkedRun::with_order(
-            dataset,
-            query.clone(),
+        // One compilation serves both the cost model and the entire scan.
+        let plan = CompiledPlan::compile(&dataset, query)?;
+        let cost = self.config.row_cost(&plan);
+        let population = plan.num_rows() as u64;
+        let mut run = ChunkedRun::from_plan(
+            plan,
             self.shuffle.clone(),
             SnapshotMode::Estimate {
                 z: self.z,
                 population,
             },
-        )?;
+        );
         run.set_row_cost(cost);
         run.set_match_cost(self.config.match_cost);
         let shared = Arc::new(Mutex::new(run));

@@ -24,7 +24,7 @@
 use idebench_core::{
     CoreError, PrepStats, Query, QueryHandle, Settings, StepStatus, SystemAdapter,
 };
-use idebench_query::{ChunkedRun, ResolvedQuery, SnapshotMode};
+use idebench_query::{ChunkedRun, CompiledPlan, SnapshotMode};
 use idebench_storage::{Dataset, Table};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -78,8 +78,8 @@ impl Default for StratifiedConfig {
 
 impl StratifiedConfig {
     /// Per-row work-unit cost over the sample.
-    pub fn row_cost(&self, resolved: &ResolvedQuery<'_>) -> f64 {
-        self.cost_base + self.cost_per_width_unit * resolved.width_units
+    pub fn row_cost(&self, plan: &CompiledPlan) -> f64 {
+        self.cost_base + self.cost_per_width_unit * plan.width_units()
     }
 }
 
@@ -226,19 +226,18 @@ impl SystemAdapter for StratifiedAdapter {
             .as_ref()
             .expect("prepare() must run before submit()")
             .clone();
-        let resolved = ResolvedQuery::new(&sample, query)
+        // One compilation serves both the cost model and the entire scan.
+        let plan = CompiledPlan::compile(&sample, query)
             .expect("driver-validated query binds against the sample");
-        let cost = self.config.row_cost(&resolved);
-        drop(resolved);
-        let mut run = ChunkedRun::new(
-            sample,
-            query.clone(),
+        let cost = self.config.row_cost(&plan);
+        let mut run = ChunkedRun::from_plan(
+            plan,
+            None,
             SnapshotMode::EstimateAtEnd {
                 z: self.z,
                 population: self.population,
             },
-        )
-        .expect("query resolved above");
+        );
         run.set_row_cost(cost);
         run.set_match_cost(self.config.match_cost);
         run.set_startup_units(self.overhead_units);

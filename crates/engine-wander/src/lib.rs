@@ -24,7 +24,7 @@
 use idebench_core::{
     AggFunc, CoreError, PrepStats, Query, QueryHandle, Settings, StepStatus, SystemAdapter,
 };
-use idebench_query::{ChunkedRun, ResolvedQuery, SnapshotMode};
+use idebench_query::{ChunkedRun, CompiledPlan, SnapshotMode};
 use idebench_storage::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -67,13 +67,13 @@ impl Default for WanderConfig {
 
 impl WanderConfig {
     /// Cost per fact row on the blocking (row-store) path.
-    pub fn blocking_row_cost(&self, resolved: &ResolvedQuery<'_>) -> f64 {
-        self.cost_per_table_column * resolved.fact_arity as f64
+    pub fn blocking_row_cost(&self, plan: &CompiledPlan) -> f64 {
+        self.cost_per_table_column * plan.fact_arity() as f64
     }
 
     /// Cost per sampled row (walk) on the online path.
-    pub fn walk_cost(&self, resolved: &ResolvedQuery<'_>) -> f64 {
-        self.walk_cost_base + self.walk_cost_per_join * resolved.joined_columns as f64
+    pub fn walk_cost(&self, plan: &CompiledPlan) -> f64 {
+        self.walk_cost_base + self.walk_cost_per_join * plan.joined_columns() as f64
     }
 }
 
@@ -156,22 +156,20 @@ impl SystemAdapter for WanderAdapter {
             .as_ref()
             .expect("prepare() must run before submit()")
             .clone();
-        let resolved = ResolvedQuery::new(&dataset, query)
+        // One compilation serves both the cost model and the entire scan.
+        let plan = CompiledPlan::compile(&dataset, query)
             .expect("driver-validated query binds against the dataset");
-        let population = resolved.num_rows as u64;
+        let population = plan.num_rows() as u64;
         if online_eligible(query) {
-            let cost = self.config.walk_cost(&resolved);
-            drop(resolved);
-            let mut run = ChunkedRun::with_order(
-                dataset,
-                query.clone(),
+            let cost = self.config.walk_cost(&plan);
+            let mut run = ChunkedRun::from_plan(
+                plan,
                 self.shuffle.clone(),
                 SnapshotMode::Estimate {
                     z: self.z,
                     population,
                 },
-            )
-            .expect("query resolved above");
+            );
             run.set_row_cost(cost);
             run.set_match_cost(self.config.walk_match_cost);
             Box::new(WanderHandle {
@@ -180,10 +178,8 @@ impl SystemAdapter for WanderAdapter {
                 report_interval: self.report_interval_units,
             })
         } else {
-            let cost = self.config.blocking_row_cost(&resolved);
-            drop(resolved);
-            let mut run = ChunkedRun::new(dataset, query.clone(), SnapshotMode::Exact)
-                .expect("query resolved above");
+            let cost = self.config.blocking_row_cost(&plan);
+            let mut run = ChunkedRun::from_plan(plan, None, SnapshotMode::Exact);
             run.set_row_cost(cost);
             Box::new(BlockingHandle { run })
         }
@@ -403,10 +399,10 @@ mod tests {
     fn blocking_cost_scales_with_table_width() {
         let ds = dataset(10);
         let q = avg_query();
-        let resolved = ResolvedQuery::new(&ds, &q).unwrap();
+        let plan = CompiledPlan::compile(&ds, &q).unwrap();
         let cfg = WanderConfig::default();
         // 3 columns × 0.27
-        assert!((cfg.blocking_row_cost(&resolved) - 0.81).abs() < 1e-12);
+        assert!((cfg.blocking_row_cost(&plan) - 0.81).abs() < 1e-12);
     }
 
     #[test]
@@ -421,9 +417,9 @@ mod tests {
             vec![AggregateSpec::count()],
         );
         let q = Query::for_viz(&spec, None);
-        let resolved = ResolvedQuery::new(&ds, &q).unwrap();
+        let plan = CompiledPlan::compile(&ds, &q).unwrap();
         let cfg = WanderConfig::default();
-        assert!((cfg.walk_cost(&resolved) - 1.8).abs() < 1e-12);
+        assert!((cfg.walk_cost(&plan) - 1.8).abs() < 1e-12);
     }
 
     #[test]

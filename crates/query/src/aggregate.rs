@@ -20,7 +20,7 @@ pub struct MeasureAcc {
 }
 
 impl MeasureAcc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         MeasureAcc {
             n: 0,
             sum: 0.0,
@@ -31,7 +31,7 @@ impl MeasureAcc {
     }
 
     #[inline]
-    fn update(&mut self, v: f64) {
+    pub(crate) fn update(&mut self, v: f64) {
         self.n += 1;
         self.sum += v;
         self.sumsq += v * v;
@@ -97,6 +97,22 @@ impl GroupedAcc {
             bins: FxHashMap::default(),
             rows_seen: 0,
             rows_matched: 0,
+        }
+    }
+
+    /// Assembles an accumulator from already-accumulated state (the
+    /// materialization target of the vectorized batch path).
+    pub(crate) fn from_parts(
+        aggs: Vec<(AggFunc, bool)>,
+        bins: FxHashMap<BinKey, BinAcc>,
+        rows_seen: u64,
+        rows_matched: u64,
+    ) -> Self {
+        GroupedAcc {
+            aggs,
+            bins,
+            rows_seen,
+            rows_matched,
         }
     }
 

@@ -1,0 +1,590 @@
+//! Morsel-driven batch kernels and accumulation.
+//!
+//! Execution processes fixed-size morsels (`MORSEL` rows). Per morsel:
+//!
+//! 1. the filter tree is evaluated into a bitmask ([`Mask`]) by typed
+//!    kernels — one `match` on column type per *morsel*, not per row;
+//! 2. bin slots (dense) or bin keys (sparse) are computed for all rows;
+//! 3. matching rows are folded into the accumulator in bulk.
+//!
+//! The dense path exploits that an all-nominal binning has a bin space
+//! bounded by dictionary sizes: accumulators live in a flat array indexed by
+//! `code0 + code1 * dict_len0`, replacing the per-row hash probe of the
+//! scalar reference path.
+
+use crate::aggregate::{BinAcc, GroupedAcc, MeasureAcc};
+use crate::plan::{AccMode, BoundColumn, CompiledPlan, PlannedDim, PlannedFilter};
+use idebench_core::{AggFunc, BinCoord, BinKey};
+use idebench_storage::ColumnSlice;
+use rustc_hash::FxHashMap;
+
+/// Rows per morsel. A multiple of 64 so morsel masks align with
+/// [`idebench_storage::SelVec`] words.
+pub const MORSEL: usize = 1024;
+const WORDS: usize = MORSEL / 64;
+
+/// A per-morsel bitmask (bit `i` = row `i` of the morsel).
+pub(crate) type Mask = [u64; WORDS];
+
+/// Zeroes mask bits at positions `n..`.
+#[inline]
+fn mask_tail(mask: &mut Mask, n: usize) {
+    for (w, word) in mask.iter_mut().enumerate() {
+        let lo = w * 64;
+        if n <= lo {
+            *word = 0;
+        } else if n < lo + 64 {
+            *word &= (1u64 << (n - lo)) - 1;
+        }
+    }
+}
+
+/// The rows of one morsel: a contiguous range or a gathered order slice.
+pub(crate) trait RowSet: Copy {
+    /// Number of rows (≤ [`MORSEL`]).
+    fn len(&self) -> usize;
+    /// The fact row at morsel position `i`.
+    fn row(&self, i: usize) -> usize;
+}
+
+/// Natural-order rows `base..base + len`.
+#[derive(Clone, Copy)]
+pub(crate) struct Natural {
+    pub base: usize,
+    pub len: usize,
+}
+
+impl RowSet for Natural {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    fn row(&self, i: usize) -> usize {
+        self.base + i
+    }
+}
+
+/// Rows gathered through a shuffle/order slice.
+#[derive(Clone, Copy)]
+pub(crate) struct Gather<'a>(pub &'a [u32]);
+
+impl RowSet for Gather<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    fn row(&self, i: usize) -> usize {
+        self.0[i] as usize
+    }
+}
+
+// -------------------------------------------------------------- binding
+
+/// A [`CompiledPlan`] bound to borrowed column slices for one `advance`.
+pub(crate) struct BoundPlan<'a> {
+    filter: Option<BoundFilter<'a>>,
+    dims: Vec<BoundDim<'a>>,
+    measures: Vec<Option<BoundColumn<'a>>>,
+}
+
+pub(crate) enum BoundFilter<'a> {
+    Range {
+        col: BoundColumn<'a>,
+        min: f64,
+        max: f64,
+    },
+    In {
+        col: BoundColumn<'a>,
+        member: &'a [bool],
+    },
+    And(Vec<BoundFilter<'a>>),
+    Or(Vec<BoundFilter<'a>>),
+}
+
+enum BoundDim<'a> {
+    Nominal {
+        col: BoundColumn<'a>,
+    },
+    Width {
+        col: BoundColumn<'a>,
+        width: f64,
+        anchor: f64,
+    },
+}
+
+impl PlannedFilter {
+    pub(crate) fn bind(&self) -> BoundFilter<'_> {
+        match self {
+            PlannedFilter::Range { col, min, max } => BoundFilter::Range {
+                col: col.bind(),
+                min: *min,
+                max: *max,
+            },
+            PlannedFilter::In { col, member } => BoundFilter::In {
+                col: col.bind(),
+                member,
+            },
+            PlannedFilter::And(children) => {
+                BoundFilter::And(children.iter().map(PlannedFilter::bind).collect())
+            }
+            PlannedFilter::Or(children) => {
+                BoundFilter::Or(children.iter().map(PlannedFilter::bind).collect())
+            }
+        }
+    }
+}
+
+impl CompiledPlan {
+    /// Binds the plan to borrowed slices (index lookups only; no name
+    /// resolution or hashing — cheap enough to do per `advance`).
+    pub(crate) fn bind(&self) -> BoundPlan<'_> {
+        BoundPlan {
+            filter: self.filter.as_ref().map(PlannedFilter::bind),
+            dims: self
+                .dims
+                .iter()
+                .map(|d| match d {
+                    PlannedDim::Nominal { col, .. } => BoundDim::Nominal { col: col.bind() },
+                    PlannedDim::Width { col, width, anchor } => BoundDim::Width {
+                        col: col.bind(),
+                        width: *width,
+                        anchor: *anchor,
+                    },
+                })
+                .collect(),
+            measures: self
+                .measures
+                .iter()
+                .map(|m| m.as_ref().map(|c| c.bind()))
+                .collect(),
+        }
+    }
+}
+
+// -------------------------------------------------------------- kernels
+
+/// Evaluates a filter tree over one morsel into `out` (bit = row matches).
+/// Null values never match, mirroring SQL WHERE semantics.
+pub(crate) fn eval_filter<R: RowSet>(f: &BoundFilter<'_>, rows: R, out: &mut Mask) {
+    let n = rows.len();
+    match f {
+        BoundFilter::Range { col, min, max } => {
+            range_mask(col, *min, *max, rows, out);
+        }
+        BoundFilter::In { col, member } => {
+            in_mask(col, member, rows, out);
+        }
+        BoundFilter::And(children) => {
+            *out = [u64::MAX; WORDS];
+            mask_tail(out, n);
+            let mut tmp = [0u64; WORDS];
+            for child in children {
+                eval_filter(child, rows, &mut tmp);
+                for w in 0..WORDS {
+                    out[w] &= tmp[w];
+                }
+            }
+        }
+        BoundFilter::Or(children) => {
+            *out = [0u64; WORDS];
+            let mut tmp = [0u64; WORDS];
+            for child in children {
+                eval_filter(child, rows, &mut tmp);
+                for w in 0..WORDS {
+                    out[w] |= tmp[w];
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn range_mask<R: RowSet>(col: &BoundColumn<'_>, min: f64, max: f64, rows: R, out: &mut Mask) {
+    let n = rows.len();
+    *out = [0u64; WORDS];
+    match (col.data, col.fk, col.validity) {
+        // Fast path: direct float column, fully valid.
+        (ColumnSlice::F64(d), None, None) => {
+            for i in 0..n {
+                let v = d[rows.row(i)];
+                out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
+            }
+        }
+        (ColumnSlice::I64(d), None, None) => {
+            for i in 0..n {
+                let v = d[rows.row(i)] as f64;
+                out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
+            }
+        }
+        _ => {
+            for i in 0..n {
+                if let Some(v) = col.numeric(rows.row(i)) {
+                    out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn in_mask<R: RowSet>(col: &BoundColumn<'_>, member: &[bool], rows: R, out: &mut Mask) {
+    let n = rows.len();
+    *out = [0u64; WORDS];
+    match (col.data, col.fk, col.validity) {
+        // Fast path: direct code column, fully valid.
+        (ColumnSlice::Codes(d, _), None, None) => {
+            for i in 0..n {
+                let hit = member
+                    .get(d[rows.row(i)] as usize)
+                    .copied()
+                    .unwrap_or(false);
+                out[i / 64] |= u64::from(hit) << (i % 64);
+            }
+        }
+        _ => {
+            for i in 0..n {
+                if let Some(code) = col.code(rows.row(i)) {
+                    let hit = member.get(code as usize).copied().unwrap_or(false);
+                    out[i / 64] |= u64::from(hit) << (i % 64);
+                }
+            }
+        }
+    }
+}
+
+/// Computes dense bin slots for one morsel. Rows with a null binned value
+/// get their `valid` bit cleared.
+fn dense_slots<R: RowSet>(dims: &[BoundDim<'_>], rows: R, slots: &mut [u32], valid: &mut Mask) {
+    let n = rows.len();
+    *valid = [u64::MAX; WORDS];
+    mask_tail(valid, n);
+    let mut stride = 1u32;
+    for (di, dim) in dims.iter().enumerate() {
+        let BoundDim::Nominal { col } = dim else {
+            unreachable!("dense path only planned for all-nominal binnings");
+        };
+        match (col.data, col.fk, col.validity) {
+            (ColumnSlice::Codes(d, dict), None, None) => {
+                if di == 0 {
+                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                        *slot = d[rows.row(i)];
+                    }
+                } else {
+                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                        *slot += d[rows.row(i)] * stride;
+                    }
+                }
+                stride *= dict.len().max(1) as u32;
+            }
+            _ => {
+                let mut dict_len = 0u32;
+                for i in 0..n {
+                    match col.code(rows.row(i)) {
+                        Some(code) => {
+                            if di == 0 {
+                                slots[i] = code;
+                            } else {
+                                slots[i] += code * stride;
+                            }
+                        }
+                        None => valid[i / 64] &= !(1u64 << (i % 64)),
+                    }
+                }
+                if let ColumnSlice::Codes(_, dict) = col.data {
+                    dict_len = dict.len().max(1) as u32;
+                }
+                stride *= dict_len.max(1);
+            }
+        }
+    }
+}
+
+/// Computes sparse bin keys (up to two coordinates) for one morsel. Rows
+/// with a null binned value get their `valid` bit cleared.
+fn sparse_keys<R: RowSet>(
+    dims: &[BoundDim<'_>],
+    rows: R,
+    k0: &mut [i64],
+    k1: &mut [i64],
+    valid: &mut Mask,
+) {
+    let n = rows.len();
+    *valid = [u64::MAX; WORDS];
+    mask_tail(valid, n);
+    for (di, dim) in dims.iter().enumerate() {
+        let out: &mut [i64] = if di == 0 { k0 } else { k1 };
+        match dim {
+            BoundDim::Nominal { col } => {
+                for i in 0..n {
+                    match col.code(rows.row(i)) {
+                        Some(code) => out[i] = i64::from(code),
+                        None => valid[i / 64] &= !(1u64 << (i % 64)),
+                    }
+                }
+            }
+            BoundDim::Width { col, width, anchor } => match (col.data, col.fk, col.validity) {
+                (ColumnSlice::F64(d), None, None) => {
+                    for (i, o) in out.iter_mut().enumerate().take(n) {
+                        *o = ((d[rows.row(i)] - anchor) / width).floor() as i64;
+                    }
+                }
+                _ => {
+                    for i in 0..n {
+                        match col.numeric(rows.row(i)) {
+                            Some(v) => out[i] = ((v - anchor) / width).floor() as i64,
+                            None => valid[i / 64] &= !(1u64 << (i % 64)),
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------- accumulation
+
+/// The coordinate kind of one sparse binning dimension.
+#[derive(Debug, Clone, Copy)]
+enum CoordKind {
+    Cat,
+    Bucket,
+}
+
+enum Store {
+    /// Flat-array accumulation over a bounded nominal bin space.
+    Dense {
+        /// Binning arity (1 or 2).
+        arity: usize,
+        /// Dictionary length of dimension 0 (slot = `c0 + c1 * len0`).
+        len0: usize,
+        counts: Vec<u64>,
+        /// `space * nmeasures` measure accumulators, slot-major.
+        measures: Vec<MeasureAcc>,
+        /// Slots with `counts > 0`, in first-touch order — snapshots only
+        /// walk populated bins, not the whole space.
+        touched: Vec<u32>,
+    },
+    /// Hashed accumulation for unbounded bucket spaces. The map stores
+    /// indices into a dense `Vec<BinAcc>` so the common consecutive-rows-
+    /// same-bucket case skips the probe via a last-key memo, and finish
+    /// walks a contiguous vector.
+    Sparse {
+        kinds: Vec<CoordKind>,
+        index: FxHashMap<(i64, i64), u32>,
+        accs: Vec<((i64, i64), BinAcc)>,
+    },
+}
+
+/// The vectorized accumulator driven by [`CompiledPlan`] morsel kernels.
+///
+/// Mirrors the statistics of [`GroupedAcc`] (which remains the scalar
+/// reference and merge/finish representation); [`BatchAcc::to_grouped`]
+/// materializes into it in O(populated bins).
+pub(crate) struct BatchAcc {
+    aggs: Vec<(AggFunc, bool)>,
+    nmeasures: usize,
+    store: Store,
+    pub rows_seen: u64,
+    pub rows_matched: u64,
+    // Reusable per-morsel scratch.
+    slots: Vec<u32>,
+    k0: Vec<i64>,
+    k1: Vec<i64>,
+}
+
+impl BatchAcc {
+    pub fn for_plan(plan: &CompiledPlan) -> BatchAcc {
+        let aggs: Vec<(AggFunc, bool)> = plan
+            .query()
+            .aggregates
+            .iter()
+            .map(|a| (a.func, a.dimension.is_some()))
+            .collect();
+        let nmeasures = aggs.len();
+        let store = match plan.acc_mode() {
+            AccMode::Dense(space) => Store::Dense {
+                arity: plan.dims.len(),
+                len0: match &plan.dims[0] {
+                    PlannedDim::Nominal { dict_len, .. } => (*dict_len).max(1),
+                    PlannedDim::Width { .. } => unreachable!("dense requires nominal dims"),
+                },
+                counts: vec![0; space],
+                measures: vec![MeasureAcc::new(); space * nmeasures],
+                touched: Vec::new(),
+            },
+            AccMode::Sparse => Store::Sparse {
+                kinds: plan
+                    .dims
+                    .iter()
+                    .map(|d| match d {
+                        PlannedDim::Nominal { .. } => CoordKind::Cat,
+                        PlannedDim::Width { .. } => CoordKind::Bucket,
+                    })
+                    .collect(),
+                index: FxHashMap::default(),
+                accs: Vec::new(),
+            },
+        };
+        BatchAcc {
+            aggs,
+            nmeasures,
+            store,
+            rows_seen: 0,
+            rows_matched: 0,
+            slots: vec![0; MORSEL],
+            k0: vec![0; MORSEL],
+            k1: vec![0; MORSEL],
+        }
+    }
+
+    /// Processes one morsel: filter → bin → accumulate. Returns the number
+    /// of rows that passed the filter (cost-model input).
+    pub fn process_morsel<R: RowSet>(&mut self, bound: &BoundPlan<'_>, rows: R) -> usize {
+        let n = rows.len();
+        debug_assert!(n <= MORSEL);
+        self.rows_seen += n as u64;
+
+        // 1. Filter.
+        let mut fmask: Mask = [u64::MAX; WORDS];
+        mask_tail(&mut fmask, n);
+        if let Some(filter) = &bound.filter {
+            eval_filter(filter, rows, &mut fmask);
+        }
+        let matched: usize = fmask.iter().map(|w| w.count_ones() as usize).sum();
+        self.rows_matched += matched as u64;
+        if matched == 0 {
+            return 0;
+        }
+
+        // 2. Bin keys, 3. accumulate matching rows.
+        let mut valid: Mask = [0u64; WORDS];
+        match &mut self.store {
+            Store::Dense {
+                counts,
+                measures,
+                touched,
+                ..
+            } => {
+                dense_slots(&bound.dims, rows, &mut self.slots, &mut valid);
+                for w in 0..WORDS {
+                    let mut bits = fmask[w] & valid[w];
+                    while bits != 0 {
+                        let i = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let slot = self.slots[i] as usize;
+                        if counts[slot] == 0 {
+                            touched.push(slot as u32);
+                        }
+                        counts[slot] += 1;
+                        let row = rows.row(i);
+                        for (m, col) in bound.measures.iter().enumerate() {
+                            if let Some(col) = col {
+                                if let Some(v) = col.numeric(row) {
+                                    measures[slot * self.nmeasures + m].update(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Store::Sparse { index, accs, .. } => {
+                sparse_keys(&bound.dims, rows, &mut self.k0, &mut self.k1, &mut valid);
+                let two_d = bound.dims.len() == 2;
+                let nmeasures = self.nmeasures;
+                // Consecutive rows often land in the same bin; memoize the
+                // last slot to skip the hash probe.
+                let mut last: Option<((i64, i64), u32)> = None;
+                for w in 0..WORDS {
+                    let mut bits = fmask[w] & valid[w];
+                    while bits != 0 {
+                        let i = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let key = (self.k0[i], if two_d { self.k1[i] } else { 0 });
+                        let slot = match last {
+                            Some((k, s)) if k == key => s,
+                            _ => {
+                                let s = *index.entry(key).or_insert_with(|| {
+                                    accs.push((
+                                        key,
+                                        BinAcc {
+                                            count: 0,
+                                            measures: vec![MeasureAcc::new(); nmeasures],
+                                        },
+                                    ));
+                                    (accs.len() - 1) as u32
+                                });
+                                last = Some((key, s));
+                                s
+                            }
+                        };
+                        let acc = &mut accs[slot as usize].1;
+                        acc.count += 1;
+                        let row = rows.row(i);
+                        for (m, col) in bound.measures.iter().enumerate() {
+                            if let Some(col) = col {
+                                if let Some(v) = col.numeric(row) {
+                                    acc.measures[m].update(v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        matched
+    }
+
+    /// Materializes into the canonical [`GroupedAcc`] representation, in
+    /// O(populated bins).
+    pub fn to_grouped(&self) -> GroupedAcc {
+        let mut bins: FxHashMap<BinKey, BinAcc> = FxHashMap::default();
+        match &self.store {
+            Store::Dense {
+                arity,
+                len0,
+                counts,
+                measures,
+                touched,
+            } => {
+                let two_d = *arity == 2;
+                for &slot in touched {
+                    let slot = slot as usize;
+                    let key = if two_d {
+                        BinKey::d2(
+                            BinCoord::Cat((slot % len0) as u32),
+                            BinCoord::Cat((slot / len0) as u32),
+                        )
+                    } else {
+                        BinKey::d1(BinCoord::Cat(slot as u32))
+                    };
+                    bins.insert(
+                        key,
+                        BinAcc {
+                            count: counts[slot],
+                            measures: measures[slot * self.nmeasures..][..self.nmeasures].to_vec(),
+                        },
+                    );
+                }
+            }
+            Store::Sparse { kinds, accs, .. } => {
+                for ((a, b), acc) in accs {
+                    let coord = |kind: CoordKind, v: i64| match kind {
+                        CoordKind::Cat => BinCoord::Cat(v as u32),
+                        CoordKind::Bucket => BinCoord::Bucket(v),
+                    };
+                    let key = if kinds.len() == 2 {
+                        BinKey::d2(coord(kinds[0], *a), coord(kinds[1], *b))
+                    } else {
+                        BinKey::d1(coord(kinds[0], *a))
+                    };
+                    bins.insert(key, acc.clone());
+                }
+            }
+        }
+        GroupedAcc::from_parts(self.aggs.clone(), bins, self.rows_seen, self.rows_matched)
+    }
+}

@@ -1,6 +1,15 @@
 //! Chunked query execution — the building block engines step.
+//!
+//! A [`ChunkedRun`] compiles its query into an owned [`CompiledPlan`]
+//! **once** at construction and then advances through the data in
+//! [`crate::batch::MORSEL`]-sized batches, evaluating filters into bitmasks,
+//! computing bin slots per batch, and accumulating matches in bulk. The
+//! scalar reference path ([`execute_exact_scalar`]) retains the original
+//! row-at-a-time semantics for differential testing.
 
 use crate::aggregate::GroupedAcc;
+use crate::batch::{BatchAcc, Gather, Natural, MORSEL};
+use crate::plan::CompiledPlan;
 use crate::resolve::ResolvedQuery;
 use idebench_core::{AggResult, CoreError, Query};
 use idebench_storage::Dataset;
@@ -33,16 +42,16 @@ pub enum SnapshotMode {
 
 /// A query scan that can be advanced in work-unit-bounded chunks.
 ///
-/// The run owns its dataset handle and an optional row *order* (progressive
-/// engines scan a shuffled order so any prefix is a uniform sample). Engines
-/// wrap this in their [`idebench_core::QueryHandle`] implementations.
+/// The run owns its compiled plan (which owns the dataset handle) and an
+/// optional row *order* (progressive engines scan a shuffled order so any
+/// prefix is a uniform sample). Engines wrap this in their
+/// [`idebench_core::QueryHandle`] implementations.
 pub struct ChunkedRun {
-    dataset: Dataset,
-    query: Query,
+    plan: CompiledPlan,
     /// Row visit order; `None` = natural order 0..n.
     order: Option<Arc<Vec<u32>>>,
-    /// Accumulated grouped state.
-    acc: Option<GroupedAcc>,
+    /// Accumulated grouped state (vectorized).
+    acc: BatchAcc,
     cursor: usize,
     num_rows: usize,
     row_cost: f64,
@@ -55,6 +64,11 @@ pub struct ChunkedRun {
     startup_units: u64,
     startup_remaining: u64,
     mode: SnapshotMode,
+    /// Total fractional row work performed (monotone).
+    row_work: f64,
+    /// Total row work billed to callers, in integer units (monotone,
+    /// `row_billed == ceil(row_work)` up to per-call budget clamping).
+    row_billed: u64,
 }
 
 impl ChunkedRun {
@@ -70,28 +84,34 @@ impl ChunkedRun {
         order: Option<Arc<Vec<u32>>>,
         mode: SnapshotMode,
     ) -> Result<Self, CoreError> {
-        // Validate the query binds, and capture scan-shape constants.
-        let resolved = ResolvedQuery::new(&dataset, &query)?;
-        let num_rows = resolved.num_rows;
-        let row_cost = resolved.row_cost();
+        let plan = CompiledPlan::compile(&dataset, &query)?;
+        Ok(Self::from_plan(plan, order, mode))
+    }
+
+    /// Creates a run from an already-compiled plan (engines compile once
+    /// for cost modelling and hand the same plan to the run — the query is
+    /// never compiled twice).
+    pub fn from_plan(plan: CompiledPlan, order: Option<Arc<Vec<u32>>>, mode: SnapshotMode) -> Self {
+        let num_rows = plan.num_rows();
+        let row_cost = plan.row_cost() as f64;
         if let Some(o) = &order {
             debug_assert_eq!(o.len(), num_rows, "order must cover every row");
         }
-        let acc = GroupedAcc::for_query(&resolved, &query.aggregates);
-        drop(resolved);
-        Ok(ChunkedRun {
-            dataset,
-            query,
+        let acc = BatchAcc::for_plan(&plan);
+        ChunkedRun {
+            plan,
             order,
-            acc: Some(acc),
+            acc,
             cursor: 0,
             num_rows,
-            row_cost: row_cost as f64,
+            row_cost,
             match_cost: 0.0,
             startup_units: 0,
             startup_remaining: 0,
             mode,
-        })
+            row_work: 0.0,
+            row_billed: 0,
+        }
     }
 
     /// Overrides the per-row work-unit cost (engine cost models).
@@ -143,9 +163,15 @@ impl ChunkedRun {
 
     /// Processes rows until `budget_units` is exhausted or the scan ends.
     /// Returns the units actually consumed.
+    ///
+    /// Accounting is *monotone and exactly budget-capped*: fractional work
+    /// (and the matched-row surcharge, which is only known after a row is
+    /// processed) is carried across calls — a call never reports more than
+    /// `budget_units`, and the total reported over a scan equals the total
+    /// work rounded up, no matter how the budget is sliced.
     pub fn advance(&mut self, budget_units: u64) -> u64 {
-        let mut budget = budget_units;
         let mut consumed = 0u64;
+        let mut budget = budget_units;
         // Pay any outstanding startup cost first.
         if self.startup_remaining > 0 {
             let pay = self.startup_remaining.min(budget);
@@ -153,32 +179,46 @@ impl ChunkedRun {
             consumed += pay;
             budget -= pay;
         }
-        if self.is_done() || budget == 0 {
+        if budget == 0 {
             return consumed;
         }
-        let resolved =
-            ResolvedQuery::new(&self.dataset, &self.query).expect("validated at construction");
-        let acc = self.acc.as_mut().expect("accumulator present");
-        let mut available = budget as f64;
-        while self.cursor < self.num_rows {
-            if available < self.row_cost {
-                break;
-            }
-            let row = match &self.order {
-                Some(order) => order[self.cursor] as usize,
-                None => self.cursor,
+
+        const EPS: f64 = 1e-9;
+        // Allowed total row work after this call: everything already billed
+        // plus this call's budget. Unbilled overdraw from previous calls
+        // (row_work > row_billed) shrinks the remaining room automatically —
+        // and is still billed below once the scan itself is complete.
+        let cap = self.row_billed as f64 + budget as f64;
+        let worst_row = self.row_cost + self.match_cost;
+        let bound = self.plan.bind();
+        while self.cursor < self.num_rows && self.row_work + self.row_cost <= cap + EPS {
+            let room = cap + EPS - self.row_work;
+            // Size the morsel so even all-matching rows stay within budget;
+            // when not even one worst-case row fits, take a single row (the
+            // surcharge overdraw is carried to the next call).
+            let fit = (room / worst_row) as usize;
+            let take = MORSEL.min(self.num_rows - self.cursor).min(fit.max(1));
+            let matched = match &self.order {
+                Some(order) => self
+                    .acc
+                    .process_morsel(&bound, Gather(&order[self.cursor..self.cursor + take])),
+                None => self.acc.process_morsel(
+                    &bound,
+                    Natural {
+                        base: self.cursor,
+                        len: take,
+                    },
+                ),
             };
-            let matched = acc.process_row(&resolved, row);
-            available -= self.row_cost;
-            if matched {
-                // The matched-row surcharge may overdraw slightly on the
-                // last row; clamp so we never report more than granted.
-                available -= self.match_cost;
-            }
-            self.cursor += 1;
+            self.row_work += take as f64 * self.row_cost + matched as f64 * self.match_cost;
+            self.cursor += take;
         }
-        consumed += (budget as f64 - available.max(0.0)).round() as u64;
-        consumed.min(budget_units)
+
+        // Bill the newly performed work, rounded up, capped by the budget.
+        let billed_target = (self.row_work - EPS).ceil().max(0.0) as u64;
+        let delta = billed_target.saturating_sub(self.row_billed).min(budget);
+        self.row_billed += delta;
+        consumed + delta
     }
 
     /// The current result under the run's snapshot mode.
@@ -187,53 +227,84 @@ impl ChunkedRun {
     /// `Estimate` mode it returns an estimate as soon as at least one row
     /// has been processed.
     pub fn snapshot(&self) -> Option<AggResult> {
-        let acc = self.acc.as_ref()?;
         match self.mode {
             SnapshotMode::Exact => {
                 if self.is_done() {
-                    Some(acc.finish_exact())
+                    Some(self.acc.to_grouped().finish_exact())
                 } else {
                     None
                 }
             }
             SnapshotMode::Estimate { z, population } => {
-                if self.cursor == 0 {
+                if self.cursor == 0 && self.num_rows > 0 {
                     None
                 } else if self.is_done() && population as usize == self.num_rows {
                     // A completed full-population scan is exact.
-                    Some(acc.finish_exact())
+                    Some(self.acc.to_grouped().finish_exact())
                 } else {
-                    Some(acc.finish_estimate(population, z))
+                    Some(self.acc.to_grouped().finish_estimate(population, z))
                 }
             }
             SnapshotMode::EstimateAtEnd { z, population } => {
                 if !self.is_done() {
                     None
                 } else if population as usize == self.num_rows {
-                    Some(acc.finish_exact())
+                    Some(self.acc.to_grouped().finish_exact())
                 } else {
-                    Some(acc.finish_estimate(population, z))
+                    Some(self.acc.to_grouped().finish_estimate(population, z))
                 }
             }
         }
     }
 
-    /// The accumulated state (engines use this for result reuse).
-    pub fn accumulator(&self) -> &GroupedAcc {
-        self.acc.as_ref().expect("accumulator present")
+    /// The accumulated state, materialized into the canonical grouped
+    /// representation (engines use this for result reuse).
+    pub fn accumulator(&self) -> GroupedAcc {
+        self.acc.to_grouped()
     }
 
     /// The query this run executes.
     pub fn query(&self) -> &Query {
-        &self.query
+        self.plan.query()
+    }
+
+    /// The compiled plan driving this run.
+    pub fn plan(&self) -> &CompiledPlan {
+        &self.plan
     }
 }
 
-/// Runs a query to completion, returning the exact result.
+/// Runs a query to completion on the vectorized path, returning the exact
+/// result.
 ///
 /// This is both the ground-truth oracle and the execution path of the
 /// blocking exact engine.
 pub fn execute_exact(dataset: &Dataset, query: &Query) -> Result<AggResult, CoreError> {
+    let plan = CompiledPlan::compile(dataset, query)?;
+    let mut acc = BatchAcc::for_plan(&plan);
+    let bound = plan.bind();
+    let num_rows = plan.num_rows();
+    let mut cursor = 0;
+    while cursor < num_rows {
+        let take = MORSEL.min(num_rows - cursor);
+        acc.process_morsel(
+            &bound,
+            Natural {
+                base: cursor,
+                len: take,
+            },
+        );
+        cursor += take;
+    }
+    Ok(acc.to_grouped().finish_exact())
+}
+
+/// Runs a query to completion on the retained row-at-a-time reference path.
+///
+/// Kept (rather than deleted with the old executor) so differential tests
+/// and benchmarks can pin the vectorized path against the original
+/// semantics bit for bit.
+pub fn execute_exact_scalar(dataset: &Dataset, query: &Query) -> Result<AggResult, CoreError> {
     let resolved = ResolvedQuery::new(dataset, query)?;
     let mut acc = GroupedAcc::for_query(&resolved, &query.aggregates);
     for row in 0..resolved.num_rows {
@@ -245,6 +316,7 @@ pub fn execute_exact(dataset: &Dataset, query: &Query) -> Result<AggResult, Core
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::plan_compilations;
     use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
     use idebench_core::{BinCoord, BinKey, FilterExpr, Predicate, VizSpec};
     use idebench_storage::{DataType, TableBuilder};
@@ -286,6 +358,36 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_matches_scalar_reference() {
+        let ds = dataset(2_500);
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 100.0,
+                anchor: 0.0,
+            }],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "dep_delay"),
+                AggregateSpec::over(AggFunc::Sum, "dep_delay"),
+            ],
+        );
+        let q = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["AA".into()],
+            })),
+        );
+        assert_eq!(
+            execute_exact(&ds, &q).unwrap(),
+            execute_exact_scalar(&ds, &q).unwrap()
+        );
+    }
+
+    #[test]
     fn chunked_exact_matches_oneshot() {
         let ds = dataset(100);
         let q = count_query();
@@ -297,6 +399,28 @@ mod tests {
             run.advance(7);
         }
         assert_eq!(run.snapshot().unwrap(), execute_exact(&ds, &q).unwrap());
+    }
+
+    #[test]
+    fn plan_compiled_exactly_once_per_run() {
+        let ds = dataset(500);
+        let before = plan_compilations();
+        let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        let after_construction = plan_compilations();
+        assert_eq!(
+            after_construction,
+            before + 1,
+            "one compile at construction"
+        );
+        while !run.is_done() {
+            run.advance(13);
+            let _ = run.snapshot();
+        }
+        assert_eq!(
+            plan_compilations(),
+            after_construction,
+            "advance/snapshot never recompile"
+        );
     }
 
     #[test]
@@ -356,7 +480,62 @@ mod tests {
             assert!(used <= 50);
             total += used;
         }
-        assert!((166..=170).contains(&total), "total {total}");
+        assert_eq!(total, 168, "budget accounting is exact");
+    }
+
+    #[test]
+    fn budget_accounting_is_monotone_and_exact_under_slicing() {
+        // Fractional costs + tiny budgets: the billed total must equal the
+        // exact total work (rounded up) regardless of slicing, and every
+        // call must respect its own budget.
+        let total_work = |budget: u64| {
+            let ds = dataset(97);
+            let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+            run.set_row_cost(0.7);
+            run.set_match_cost(0.3); // all rows match (no filter)
+            let mut total = 0u64;
+            let mut stalls = 0;
+            while !run.is_done() {
+                let used = run.advance(budget);
+                assert!(used <= budget, "billed {used} over budget {budget}");
+                total += used;
+                if used == 0 {
+                    stalls += 1;
+                    assert!(stalls < 10_000, "advance stalled");
+                }
+            }
+            total
+        };
+        // 97 rows * (0.7 + 0.3) = 97.0 exactly.
+        for budget in [1, 2, 3, 5, 7, 50, 1_000] {
+            assert_eq!(total_work(budget), 97, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn overdraw_is_carried_not_forgiven() {
+        // match_cost larger than the budget: each call overdraws on its
+        // single row, and the debt must surface in later calls' billing.
+        let ds = dataset(10);
+        let mut run = ChunkedRun::new(ds, count_query(), SnapshotMode::Exact).unwrap();
+        run.set_row_cost(1.0);
+        run.set_match_cost(4.0); // every row costs 5 in total
+        let mut total = 0u64;
+        while !run.is_done() {
+            total += run.advance(2);
+        }
+        // Billing is capped at 2/call; the remaining debt is billed by the
+        // post-completion calls below.
+        while total < 50 {
+            let used = run.advance(2);
+            assert!(used <= 2);
+            if used == 0 {
+                break;
+            }
+            total += used;
+        }
+        assert_eq!(total, 50, "10 rows * 5 units fully billed");
+        assert_eq!(run.advance(100), 0, "nothing left to bill");
     }
 
     #[test]

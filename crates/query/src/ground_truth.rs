@@ -84,19 +84,20 @@ pub fn enumerate_workload_queries(
 
 impl CachedGroundTruth {
     /// Pre-computes ground truth for a whole workload in parallel using
-    /// `threads` worker threads (crossbeam scoped threads with an atomic
-    /// work index). The returned oracle serves every workload query from
+    /// `threads` worker threads (std scoped threads with an atomic work
+    /// index). The returned oracle serves every workload query from
     /// memory; unseen queries still fall back to on-demand execution.
     pub fn precompute(dataset: Dataset, queries: &[Query], threads: usize) -> Self {
         let threads = threads.clamp(1, 64);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Vec<(u64, AggResult)>>> =
-            (0..threads).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
-        crossbeam::scope(|scope| {
+        let results: Vec<parking_lot::Mutex<Vec<(u64, AggResult)>>> = (0..threads)
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
+        std::thread::scope(|scope| {
             for shard in &results {
                 let dataset = &dataset;
                 let next = &next;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(query) = queries.get(i) else { break };
                     let result = execute_exact(dataset, query)
@@ -104,8 +105,7 @@ impl CachedGroundTruth {
                     shard.lock().push((query.fingerprint(), result));
                 });
             }
-        })
-        .expect("ground-truth workers do not panic");
+        });
         let mut cache = FxHashMap::default();
         for shard in results {
             cache.extend(shard.into_inner());
@@ -202,8 +202,7 @@ mod tests {
                 filter: None,
             },
         ];
-        let queries =
-            enumerate_workload_queries(&ds, &[wf1.as_slice(), wf2.as_slice()]).unwrap();
+        let queries = enumerate_workload_queries(&ds, &[wf1.as_slice(), wf2.as_slice()]).unwrap();
         assert_eq!(queries.len(), 1, "identical semantics deduplicate");
     }
 

@@ -4,33 +4,82 @@
 //! evaluate a query (blocking full scans, progressive shuffled prefixes,
 //! offline samples, random join walks) — but the per-row semantics of
 //! filtering, binning and aggregation are identical. This crate centralizes
-//! those semantics:
+//! those semantics around a vectorized, morsel-driven execution core:
 //!
-//! - [`resolve`]: binds a [`idebench_core::Query`]'s column names against a
-//!   [`idebench_storage::Dataset`], transparently following star-schema
-//!   foreign keys.
-//! - [`filter`]: compiled filter trees with per-row and vectorized
-//!   evaluation.
-//! - [`binning`]: compiled 1D/2D nominal/quantitative binning.
-//! - [`aggregate`]: grouped accumulators with exact finalization and
-//!   sample-scale-up estimation including CLT confidence intervals.
-//! - [`executor`]: a chunked query runner (the building block engines step),
-//!   plus `execute_exact` for one-shot exact evaluation.
+//! # Execution pipeline
+//!
+//! ```text
+//!   Query ──compile──▶ CompiledPlan ──bind──▶ morsel kernels ──▶ AggResult
+//!           (once per            (per advance:   filter → Mask
+//!            ChunkedRun)          index lookups)  bin   → slots/keys
+//!                                                 accumulate → dense/sparse
+//! ```
+//!
+//! - [`plan`]: the **owned** [`CompiledPlan`] — column names resolved to
+//!   `(Arc<Table>, index)` handles (following star-schema foreign keys),
+//!   IN-lists lowered to dictionary membership tables, binning classified as
+//!   dense (bounded nominal bin space) or sparse (unbounded buckets). Built
+//!   exactly once per run; [`plan_compilations`] lets tests pin that.
+//! - [`batch`]: fixed-size morsel kernels (filter → bitmask, batched bin
+//!   slot computation, bulk accumulation) and the dense flat-array /
+//!   sparse hashed accumulators.
+//! - [`executor`]: [`ChunkedRun`] — work-unit-budgeted morsel execution with
+//!   monotone, exactly-capped budget accounting — plus [`execute_exact`]
+//!   (vectorized one-shot) and [`execute_exact_scalar`] (the retained
+//!   row-at-a-time reference path used for differential testing).
+//! - [`resolve`], [`filter`], [`binning`], [`aggregate`]: the scalar
+//!   reference implementations ([`ResolvedQuery`] and friends) plus the
+//!   canonical grouped accumulator ([`GroupedAcc`]) every path finishes
+//!   through — exact finalization and sample-scale-up estimation with CLT
+//!   confidence intervals.
 //! - [`ground_truth`]: a caching [`idebench_core::GroundTruthProvider`].
 //! - [`sql`]: SQL rendering of queries (paper Figure 4).
+//!
+//! # Engine usage
+//!
+//! Engines compile once, read their cost model off the plan, and hand the
+//! same plan to the run — the query is never re-compiled during stepping:
+//!
+//! ```
+//! use idebench_query::{ChunkedRun, CompiledPlan, SnapshotMode};
+//! # use idebench_core::spec::{AggregateSpec, BinDef};
+//! # use idebench_core::{Query, VizSpec};
+//! # use idebench_storage::{DataType, Dataset, TableBuilder};
+//! # use std::sync::Arc;
+//! # let mut b = TableBuilder::with_fields("t", &[("c", DataType::Nominal)]);
+//! # b.push_row(&["x".into()]).unwrap();
+//! # let dataset = Dataset::Denormalized(Arc::new(b.finish()));
+//! # let spec = VizSpec::new("v", "t",
+//! #     vec![BinDef::Nominal { dimension: "c".into() }],
+//! #     vec![AggregateSpec::count()]);
+//! # let query = Query::for_viz(&spec, None);
+//! let plan = CompiledPlan::compile(&dataset, &query)?;
+//! let cost = 0.1 * plan.width_units(); // engine-specific cost model
+//! let mut run = ChunkedRun::from_plan(plan, None, SnapshotMode::Exact);
+//! run.set_row_cost(cost.max(0.01));
+//! while !run.is_done() {
+//!     run.advance(16_384);
+//! }
+//! assert!(run.snapshot().is_some());
+//! # Ok::<(), idebench_core::CoreError>(())
+//! ```
 
 pub mod aggregate;
+pub mod batch;
 pub mod binning;
 pub mod executor;
 pub mod filter;
 pub mod ground_truth;
+pub mod plan;
 pub mod resolve;
 pub mod sql;
 
 pub use aggregate::{BinAcc, GroupedAcc, MeasureAcc};
+pub use batch::MORSEL;
 pub use binning::CompiledBinning;
-pub use executor::{execute_exact, ChunkedRun, SnapshotMode};
+pub use executor::{execute_exact, execute_exact_scalar, ChunkedRun, SnapshotMode};
 pub use filter::CompiledFilter;
 pub use ground_truth::{enumerate_workload_queries, CachedGroundTruth};
+pub use plan::{plan_compilations, AccMode, CompiledPlan, PlannedColumn, DENSE_BIN_CAP};
 pub use resolve::{ResolvedColumn, ResolvedQuery};
 pub use sql::to_sql;

@@ -1,0 +1,637 @@
+//! Owned compiled query plans.
+//!
+//! [`CompiledPlan`] is the once-per-run compilation product of a
+//! [`Query`] against a [`Dataset`]: every referenced column resolved to a
+//! `(table, column-index)` handle (following star-schema foreign keys),
+//! filter predicates lowered to typed comparisons (IN-lists becoming dense
+//! dictionary membership tables), and binning classified as *dense*
+//! (bounded nominal bin space → flat-array accumulation) or *sparse*
+//! (unbounded bucket space → hash accumulation).
+//!
+//! Unlike [`crate::resolve::ResolvedQuery`] — the borrow-based scalar
+//! reference path, recompiled wherever it is used — a `CompiledPlan` owns
+//! `Arc` handles into the dataset and therefore lives inside a
+//! [`crate::ChunkedRun`] for the whole scan: `advance` only *binds* the plan
+//! (index-based slice lookups, no name resolution, no hashing) and runs
+//! batch kernels over it. [`plan_compilations`] counts compilations so tests
+//! can pin the once-per-run property.
+
+use idebench_core::{BinDef, CoreError, FilterExpr, Predicate, Query};
+use idebench_storage::{Column, ColumnSlice, Dataset, SelVec, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Upper bound on the flat bin space of the dense accumulation path.
+/// Nominal binnings whose dictionary-size product exceeds this fall back to
+/// sparse (hashed) accumulation.
+pub const DENSE_BIN_CAP: usize = 1 << 13;
+
+static PLAN_COMPILATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`CompiledPlan`] compilations since process start.
+///
+/// Construction-count tests assert that stepping a [`crate::ChunkedRun`]
+/// compiles its plan exactly once, no matter how the budget is sliced.
+pub fn plan_compilations() -> u64 {
+    PLAN_COMPILATIONS.load(Ordering::Relaxed)
+}
+
+/// A query column resolved to owned storage handles.
+///
+/// `table` holds the column payload; for star-schema dimension attributes,
+/// `fk` names the fact table's foreign-key column through which fact rows
+/// reach it (`column[fk[row]]` — the indirection *is* the join).
+#[derive(Debug, Clone)]
+pub struct PlannedColumn {
+    table: Arc<Table>,
+    col: usize,
+    fk: Option<(Arc<Table>, usize)>,
+}
+
+impl PlannedColumn {
+    /// Resolves `name` against the dataset.
+    pub fn resolve(dataset: &Dataset, name: &str) -> Result<Self, CoreError> {
+        match dataset {
+            Dataset::Denormalized(t) => Ok(PlannedColumn {
+                col: t.schema().index_of(name)?,
+                table: Arc::clone(t),
+                fk: None,
+            }),
+            Dataset::Star(s) => {
+                if let Ok(col) = s.fact().schema().index_of(name) {
+                    return Ok(PlannedColumn {
+                        table: Arc::clone(s.fact()),
+                        col,
+                        fk: None,
+                    });
+                }
+                let (spec, dim) = s.dimension_of_column(name).ok_or_else(|| {
+                    CoreError::Storage(format!("unknown column {name} in star schema"))
+                })?;
+                let fk_idx = s.fact().schema().index_of(&spec.fk_name)?;
+                if s.fact().column_at(fk_idx).as_int().is_none() {
+                    return Err(CoreError::Storage(format!("fk {} not int", spec.fk_name)));
+                }
+                Ok(PlannedColumn {
+                    col: dim.schema().index_of(name)?,
+                    table: Arc::clone(dim),
+                    fk: Some((Arc::clone(s.fact()), fk_idx)),
+                })
+            }
+        }
+    }
+
+    /// The underlying column.
+    pub fn column(&self) -> &Column {
+        self.table.column_at(self.col)
+    }
+
+    /// Whether the column is reached through a foreign key (join access).
+    pub fn is_joined(&self) -> bool {
+        self.fk.is_some()
+    }
+
+    /// Scan width in 4-byte units (same model as the scalar reference path:
+    /// dictionary codes 1 unit, ints/floats 2, plus 2.5 for join access).
+    pub fn width_units(&self) -> f64 {
+        let own = match self.column().typed() {
+            ColumnSlice::Codes(..) => 1.0,
+            _ => 2.0,
+        };
+        if self.fk.is_some() {
+            own + 2.0 + 0.5
+        } else {
+            own
+        }
+    }
+
+    /// Binds the plan column to borrowed slices for kernel execution.
+    #[inline]
+    pub(crate) fn bind(&self) -> BoundColumn<'_> {
+        let column = self.column();
+        BoundColumn {
+            data: column.typed(),
+            validity: column.validity(),
+            fk: self.fk.as_ref().map(|(fact, idx)| {
+                fact.column_at(*idx)
+                    .as_int()
+                    .expect("fk column validated at compile time")
+            }),
+        }
+    }
+}
+
+/// A [`PlannedColumn`] bound to borrowed slices for one `advance` call.
+#[derive(Clone, Copy)]
+pub(crate) struct BoundColumn<'a> {
+    pub data: ColumnSlice<'a>,
+    pub validity: Option<&'a SelVec>,
+    pub fk: Option<&'a [i64]>,
+}
+
+impl BoundColumn<'_> {
+    /// The physical row backing fact row `row`.
+    #[inline(always)]
+    pub fn physical(&self, row: usize) -> usize {
+        match self.fk {
+            Some(fk) => fk[row] as usize,
+            None => row,
+        }
+    }
+
+    /// Numeric value at the fact row; `None` when null.
+    #[inline(always)]
+    pub fn numeric(&self, row: usize) -> Option<f64> {
+        let r = self.physical(row);
+        if let Some(v) = self.validity {
+            if !v.contains(r) {
+                return None;
+            }
+        }
+        Some(match self.data {
+            ColumnSlice::F64(d) => d[r],
+            ColumnSlice::I64(d) => d[r] as f64,
+            ColumnSlice::Codes(d, _) => f64::from(d[r]),
+        })
+    }
+
+    /// Dictionary code at the fact row; `None` when null or non-nominal.
+    #[inline(always)]
+    pub fn code(&self, row: usize) -> Option<u32> {
+        let r = self.physical(row);
+        if let Some(v) = self.validity {
+            if !v.contains(r) {
+                return None;
+            }
+        }
+        match self.data {
+            ColumnSlice::Codes(d, _) => Some(d[r]),
+            _ => None,
+        }
+    }
+}
+
+/// A filter tree lowered to planned columns and dense membership tables.
+#[derive(Debug, Clone)]
+pub(crate) enum PlannedFilter {
+    /// Half-open quantitative range.
+    Range {
+        col: PlannedColumn,
+        min: f64,
+        max: f64,
+    },
+    /// Nominal membership, as a dictionary-length lookup table: IN-list
+    /// hashing is paid once at compile time, never per row.
+    In {
+        col: PlannedColumn,
+        member: Vec<bool>,
+    },
+    And(Vec<PlannedFilter>),
+    Or(Vec<PlannedFilter>),
+}
+
+impl PlannedFilter {
+    fn compile(dataset: &Dataset, expr: &FilterExpr) -> Result<Self, CoreError> {
+        Ok(match expr {
+            FilterExpr::Pred(Predicate::Range { column, min, max }) => PlannedFilter::Range {
+                col: PlannedColumn::resolve(dataset, column)?,
+                min: *min,
+                max: *max,
+            },
+            FilterExpr::Pred(Predicate::In { column, values }) => {
+                let col = PlannedColumn::resolve(dataset, column)?;
+                let member = match col.column().typed() {
+                    ColumnSlice::Codes(_, dict) => {
+                        let mut member = vec![false; dict.len()];
+                        for v in values {
+                            // Categories absent from the dictionary never
+                            // match (the filter referenced a value not in
+                            // the data).
+                            if let Some(code) = dict.code(v) {
+                                member[code as usize] = true;
+                            }
+                        }
+                        member
+                    }
+                    _ => {
+                        return Err(CoreError::Storage(format!(
+                            "IN filter on non-nominal column {column}"
+                        )))
+                    }
+                };
+                PlannedFilter::In { col, member }
+            }
+            FilterExpr::And(children) => PlannedFilter::And(
+                children
+                    .iter()
+                    .map(|c| Self::compile(dataset, c))
+                    .collect::<Result<_, _>>()?,
+            ),
+            FilterExpr::Or(children) => PlannedFilter::Or(
+                children
+                    .iter()
+                    .map(|c| Self::compile(dataset, c))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+
+    fn joined_columns(&self) -> usize {
+        match self {
+            PlannedFilter::Range { col, .. } | PlannedFilter::In { col, .. } => {
+                usize::from(col.is_joined())
+            }
+            PlannedFilter::And(children) | PlannedFilter::Or(children) => {
+                children.iter().map(PlannedFilter::joined_columns).sum()
+            }
+        }
+    }
+
+    fn width_units(&self) -> f64 {
+        match self {
+            PlannedFilter::Range { col, .. } | PlannedFilter::In { col, .. } => col.width_units(),
+            PlannedFilter::And(children) | PlannedFilter::Or(children) => {
+                children.iter().map(PlannedFilter::width_units).sum()
+            }
+        }
+    }
+}
+
+/// One planned binning dimension.
+#[derive(Debug, Clone)]
+pub(crate) enum PlannedDim {
+    /// Nominal: bin = dictionary code; `dict_len` bounds the bin space.
+    Nominal { col: PlannedColumn, dict_len: usize },
+    /// Fixed-width bucketing: bin = `floor((x - anchor) / width)`.
+    Width {
+        col: PlannedColumn,
+        width: f64,
+        anchor: f64,
+    },
+}
+
+impl PlannedDim {
+    fn col(&self) -> &PlannedColumn {
+        match self {
+            PlannedDim::Nominal { col, .. } | PlannedDim::Width { col, .. } => col,
+        }
+    }
+}
+
+/// How bin keys are accumulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccMode {
+    /// Flat-array accumulation over a bounded nominal bin space of the given
+    /// size (slot = `code0 + code1 * dict_len0`).
+    Dense(usize),
+    /// Hash accumulation for unbounded (bucketed) bin spaces.
+    Sparse,
+}
+
+/// An owned, reusable compiled query plan (see module docs).
+pub struct CompiledPlan {
+    dataset: Dataset,
+    query: Query,
+    pub(crate) filter: Option<PlannedFilter>,
+    pub(crate) dims: Vec<PlannedDim>,
+    pub(crate) measures: Vec<Option<PlannedColumn>>,
+    acc_mode: AccMode,
+    num_rows: usize,
+    joined_columns: usize,
+    width_units: f64,
+    fact_arity: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles `query` against `dataset`. The dataset handle is cheap to
+    /// clone (`Arc`s all the way down) and is retained inside the plan.
+    pub fn compile(dataset: &Dataset, query: &Query) -> Result<Self, CoreError> {
+        PLAN_COMPILATIONS.fetch_add(1, Ordering::Relaxed);
+        let filter = query
+            .filter
+            .as_ref()
+            .map(|f| PlannedFilter::compile(dataset, f))
+            .transpose()?;
+        let dims = query
+            .binning
+            .iter()
+            .map(|def| Self::compile_dim(dataset, def))
+            .collect::<Result<Vec<_>, _>>()?;
+        if !(1..=2).contains(&dims.len()) {
+            return Err(CoreError::Storage(format!(
+                "unsupported binning arity {}",
+                dims.len()
+            )));
+        }
+        let measures = query
+            .aggregates
+            .iter()
+            .map(|a| {
+                a.dimension
+                    .as_deref()
+                    .map(|d| PlannedColumn::resolve(dataset, d))
+                    .transpose()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let acc_mode = Self::pick_acc_mode(&dims);
+        let joined_columns = dims.iter().filter(|d| d.col().is_joined()).count()
+            + filter.as_ref().map_or(0, PlannedFilter::joined_columns)
+            + measures.iter().flatten().filter(|m| m.is_joined()).count();
+        let width_units = dims.iter().map(|d| d.col().width_units()).sum::<f64>()
+            + filter.as_ref().map_or(0.0, PlannedFilter::width_units)
+            + measures
+                .iter()
+                .flatten()
+                .map(PlannedColumn::width_units)
+                .sum::<f64>();
+        let fact_arity = match dataset {
+            Dataset::Denormalized(t) => t.num_columns(),
+            Dataset::Star(s) => s.fact().num_columns(),
+        };
+        Ok(CompiledPlan {
+            num_rows: dataset.fact_rows(),
+            dataset: dataset.clone(),
+            query: query.clone(),
+            filter,
+            dims,
+            measures,
+            acc_mode,
+            joined_columns,
+            width_units,
+            fact_arity,
+        })
+    }
+
+    fn compile_dim(dataset: &Dataset, def: &BinDef) -> Result<PlannedDim, CoreError> {
+        Ok(match def {
+            BinDef::Nominal { dimension } => {
+                let col = PlannedColumn::resolve(dataset, dimension)?;
+                let dict_len = match col.column().typed() {
+                    ColumnSlice::Codes(_, dict) => dict.len(),
+                    _ => {
+                        return Err(CoreError::Storage(format!(
+                            "nominal binning on non-nominal column {dimension}"
+                        )))
+                    }
+                };
+                PlannedDim::Nominal { col, dict_len }
+            }
+            BinDef::Width {
+                dimension,
+                width,
+                anchor,
+            } => {
+                if !(width.is_finite() && *width > 0.0) {
+                    return Err(CoreError::Storage(format!(
+                        "non-positive bin width {width} on {dimension}"
+                    )));
+                }
+                PlannedDim::Width {
+                    col: PlannedColumn::resolve(dataset, dimension)?,
+                    width: *width,
+                    anchor: *anchor,
+                }
+            }
+            BinDef::Count { dimension, .. } => {
+                return Err(CoreError::Storage(format!(
+                    "unresolved count binning on {dimension} (driver resolves these)"
+                )))
+            }
+        })
+    }
+
+    /// Dense accumulation applies when every dimension is nominal and the
+    /// bin-space product is bounded; bucketed dimensions are unbounded and
+    /// force the hashed path.
+    fn pick_acc_mode(dims: &[PlannedDim]) -> AccMode {
+        let mut space = 1usize;
+        for dim in dims {
+            match dim {
+                PlannedDim::Nominal { dict_len, .. } => {
+                    space = match space.checked_mul((*dict_len).max(1)) {
+                        Some(s) if s <= DENSE_BIN_CAP => s,
+                        _ => return AccMode::Sparse,
+                    };
+                }
+                PlannedDim::Width { .. } => return AccMode::Sparse,
+            }
+        }
+        AccMode::Dense(space)
+    }
+
+    /// The dataset this plan scans.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The query this plan executes.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Number of fact rows to scan.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Accumulation mode selected for the binning.
+    pub fn acc_mode(&self) -> AccMode {
+        self.acc_mode
+    }
+
+    /// How many referenced columns are join-accessed (cost-model input).
+    pub fn joined_columns(&self) -> usize {
+        self.joined_columns
+    }
+
+    /// Total scan width of the referenced columns in 4-byte units.
+    pub fn width_units(&self) -> f64 {
+        self.width_units
+    }
+
+    /// Number of columns of the fact (or single) table.
+    pub fn fact_arity(&self) -> usize {
+        self.fact_arity
+    }
+
+    /// Per-row work-unit cost: 1 for the scan plus 1 per join-accessed
+    /// column (the price of the FK indirection / hash probe).
+    pub fn row_cost(&self) -> u64 {
+        1 + self.joined_columns as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
+    use idebench_core::VizSpec;
+    use idebench_storage::{DataType, DimensionSpec, StarSchema, TableBuilder, Value};
+
+    fn denorm() -> Dataset {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("carrier", DataType::Nominal),
+                ("dep_delay", DataType::Float),
+            ],
+        );
+        b.push_row(&["AA".into(), 5.0.into()]).unwrap();
+        b.push_row(&["DL".into(), 15.0.into()]).unwrap();
+        Dataset::Denormalized(Arc::new(b.finish()))
+    }
+
+    fn star() -> Dataset {
+        let mut f = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("dep_delay", DataType::Float),
+                ("carrier_key", DataType::Int),
+            ],
+        );
+        f.push_row(&[5.0.into(), 1i64.into()]).unwrap();
+        f.push_row(&[15.0.into(), 0i64.into()]).unwrap();
+        let mut d = TableBuilder::with_fields("carriers", &[("carrier", DataType::Nominal)]);
+        d.push_row(&[Value::Str("AA".into())]).unwrap();
+        d.push_row(&[Value::Str("DL".into())]).unwrap();
+        Dataset::Star(Arc::new(
+            StarSchema::new(
+                Arc::new(f.finish()),
+                vec![(
+                    DimensionSpec::new("carriers", "carrier_key", vec!["carrier".into()]),
+                    Arc::new(d.finish()),
+                )],
+            )
+            .unwrap(),
+        ))
+    }
+
+    fn nominal_query() -> Query {
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        );
+        Query::for_viz(&spec, None)
+    }
+
+    #[test]
+    fn direct_and_joined_column_access() {
+        let c = PlannedColumn::resolve(&denorm(), "dep_delay").unwrap();
+        assert!(!c.is_joined());
+        assert_eq!(c.bind().numeric(1), Some(15.0));
+
+        let j = PlannedColumn::resolve(&star(), "carrier").unwrap();
+        assert!(j.is_joined());
+        // Row 0 has carrier_key = 1 → "DL" (code 1 in the dim dictionary).
+        assert_eq!(j.bind().code(0), Some(1));
+        assert_eq!(j.bind().code(1), Some(0));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(PlannedColumn::resolve(&star(), "ghost").is_err());
+        assert!(PlannedColumn::resolve(&denorm(), "ghost").is_err());
+    }
+
+    #[test]
+    fn plan_costs_joins_and_width() {
+        let plan = CompiledPlan::compile(&star(), &nominal_query()).unwrap();
+        assert_eq!(plan.joined_columns(), 1);
+        assert_eq!(plan.row_cost(), 2);
+        assert_eq!(plan.num_rows(), 2);
+        // carrier joined (1 + 2.5) + dep_delay (2).
+        assert!((plan.width_units() - 5.5).abs() < 1e-12);
+
+        let flat = CompiledPlan::compile(&denorm(), &nominal_query()).unwrap();
+        assert_eq!(flat.row_cost(), 1);
+        assert!((flat.width_units() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_binning_is_dense_buckets_are_sparse() {
+        let plan = CompiledPlan::compile(&denorm(), &nominal_query()).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Dense(2));
+
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            }],
+            vec![AggregateSpec::count()],
+        );
+        let q = Query::for_viz(&spec, None);
+        let plan = CompiledPlan::compile(&denorm(), &q).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Sparse);
+    }
+
+    #[test]
+    fn in_filter_compiles_to_membership_table() {
+        let q = Query::for_viz(
+            &VizSpec::new(
+                "v",
+                "flights",
+                vec![BinDef::Nominal {
+                    dimension: "carrier".into(),
+                }],
+                vec![AggregateSpec::count()],
+            ),
+            Some(FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["AA".into(), "ZZ".into()],
+            })),
+        );
+        let plan = CompiledPlan::compile(&denorm(), &q).unwrap();
+        match plan.filter.as_ref().unwrap() {
+            PlannedFilter::In { member, .. } => {
+                assert_eq!(member, &[true, false]); // AA yes, DL no, ZZ absent
+            }
+            other => panic!("expected In, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_definitions_rejected() {
+        let bad_nominal = Query::for_viz(
+            &VizSpec::new(
+                "v",
+                "flights",
+                vec![BinDef::Nominal {
+                    dimension: "dep_delay".into(),
+                }],
+                vec![AggregateSpec::count()],
+            ),
+            None,
+        );
+        assert!(CompiledPlan::compile(&denorm(), &bad_nominal).is_err());
+
+        let bad_width = Query::for_viz(
+            &VizSpec::new(
+                "v",
+                "flights",
+                vec![BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 0.0,
+                    anchor: 0.0,
+                }],
+                vec![AggregateSpec::count()],
+            ),
+            None,
+        );
+        assert!(CompiledPlan::compile(&denorm(), &bad_width).is_err());
+    }
+
+    #[test]
+    fn compilation_counter_advances() {
+        let before = plan_compilations();
+        let _ = CompiledPlan::compile(&denorm(), &nominal_query()).unwrap();
+        assert!(plan_compilations() > before);
+    }
+}

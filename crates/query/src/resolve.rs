@@ -104,6 +104,15 @@ impl<'a> ResolvedColumn<'a> {
     pub fn column(&self) -> &'a Column {
         self.column
     }
+
+    /// Binds to typed slices for batch-kernel evaluation.
+    pub(crate) fn bind(&self) -> crate::plan::BoundColumn<'a> {
+        crate::plan::BoundColumn {
+            data: self.column.typed(),
+            validity: self.column.validity(),
+            fk: self.fk,
+        }
+    }
 }
 
 /// A fully-resolved query: compiled filter, binning and measure accessors,

@@ -1,0 +1,241 @@
+//! In-repo shim for the `criterion` crate (see `crates/shims/`): a compact
+//! wall-clock micro-benchmark harness exposing the group/bench API surface
+//! this workspace uses.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough iterations to
+//! fill the measurement window (default 1 s; `CRITERION_MEASURE_MS` and
+//! `CRITERION_WARMUP_MS` override). Results print as `ns/iter` plus derived
+//! throughput when the group declared one, and are appended as JSON lines to
+//! `target/shim-criterion.jsonl` so scripts can scrape them.
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput basis for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (rows).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Just a parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level harness handle passed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_benchmark(&id.into_id(), None, f);
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput basis for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.throughput, f);
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&full, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (printing is eager; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this measurement batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let warmup = env_ms("CRITERION_WARMUP_MS", 300);
+    let measure = env_ms("CRITERION_MEASURE_MS", 1_000);
+
+    // Warm-up: discover a per-iteration estimate while warming caches.
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warmup_start.elapsed() < warmup {
+        f(&mut b);
+        warmup_iters += b.iters;
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+
+    // Measurement: one batch sized to fill the window.
+    let target_iters = ((measure.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+    b.iters = target_iters;
+    f(&mut b);
+    let ns_per_iter = b.elapsed.as_secs_f64() * 1e9 / b.iters as f64;
+
+    let throughput_text = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            format!(" ({:.2} Melem/s)", rate / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns_per_iter / 1e9);
+            format!(" ({:.2} MiB/s)", rate / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<50} {ns_per_iter:>14.0} ns/iter{throughput_text}");
+
+    // Machine-readable record for tooling (best effort).
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("target/shim-criterion.jsonl")
+    {
+        let elems = match throughput {
+            Some(Throughput::Elements(n)) => n,
+            _ => 0,
+        };
+        let _ = writeln!(
+            file,
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns_per_iter:.1},\"elements\":{elems}}}"
+        );
+    }
+}
+
+/// Declares a benchmark-group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

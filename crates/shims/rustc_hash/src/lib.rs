@@ -1,0 +1,107 @@
+//! In-repo shim for the `rustc_hash` crate: the Fx multiplicative hasher and
+//! the `FxHashMap` / `FxHashSet` aliases built on it.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! few external crates the codebase uses are provided as minimal shims under
+//! `crates/shims/`. This one implements the classic Firefox hash: fast,
+//! non-cryptographic, ideal for the small integer/fingerprint keys the
+//! engines hash on hot paths.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A [`std::collections::HashMap`] keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A [`std::collections::HashSet`] keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// [`BuildHasherDefault`] over [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiplicative hasher (rotate, xor, multiply per word).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let s: FxHashSet<u32> = [1, 2, 2, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world");
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello worle");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -1,0 +1,343 @@
+//! In-repo shim for the `serde` crate (see `crates/shims/`).
+//!
+//! Instead of serde's visitor-based data model, this shim serializes through
+//! an owned JSON tree ([`Value`]): `Serialize` renders a value *to* a
+//! [`Value`], `Deserialize` reads one back *from* a [`Value`]. The
+//! `serde_derive` shim generates impls of these traits and supports the
+//! attribute subset this workspace uses (`rename`, `rename_all`, `tag`,
+//! `content`, `untagged`, `default`, `skip_serializing_if`, `flatten`,
+//! `with`). The `serde_json` shim supplies text parsing/printing and the
+//! `json!` macro on top of the same [`Value`].
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+// The derive macros live in the `serde_derive` proc-macro shim and are
+// re-exported here so `use serde::{Deserialize, Serialize}` binds both the
+// traits (type namespace) and the derives (macro namespace), exactly like
+// real serde with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization into the JSON data model.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reads a value of `Self` out of a JSON value.
+    fn from_json(v: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization error: a human-readable message describing the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Error for a value of the wrong JSON type.
+    pub fn expected(what: &str, context: &str) -> DeError {
+        DeError(format!("expected {what} for {context}"))
+    }
+
+    /// Error for an object missing a required field.
+    pub fn missing(field: &str, context: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {context}"))
+    }
+
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<$t, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<$t, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<f64, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<f32, DeError> {
+        Ok(v.as_f64()
+            .ok_or_else(|| DeError::expected("number", "f32"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Serialize for std::path::Path {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_json(v: &Value) -> Result<std::path::PathBuf, DeError> {
+        match v {
+            Value::String(s) => Ok(std::path::PathBuf::from(s)),
+            _ => Err(DeError::expected("string", "PathBuf")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &Value) -> Result<(A, B), DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            _ => Err(DeError::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(v: &Value) -> Result<(A, B, C), DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0])?,
+                B::from_json(&items[1])?,
+                C::from_json(&items[2])?,
+            )),
+            _ => Err(DeError::expected("3-element array", "tuple")),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_json(&self) -> Value {
+        // Deterministic key order keeps serialized maps stable across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut obj = Map::new();
+        for k in keys {
+            obj.insert(k.clone(), self[k].to_json());
+        }
+        Value::Object(obj)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(obj) => {
+                let mut out = Self::default();
+                for (k, val) in obj.iter() {
+                    out.insert(k.clone(), V::from_json(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::expected("object", "map")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        let mut obj = Map::new();
+        for (k, val) in self {
+            obj.insert(k.clone(), val.to_json());
+        }
+        Value::Object(obj)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(obj) => {
+                let mut out = Self::new();
+                for (k, val) in obj.iter() {
+                    out.insert(k.clone(), V::from_json(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::expected("object", "map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}

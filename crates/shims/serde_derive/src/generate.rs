@@ -1,0 +1,437 @@
+//! Code generation for the derive shim: [`crate::Item`] → impl source text.
+
+use crate::{
+    apply_rename_all, is_option_type, DefaultAttr, Field, Fields, Item, ItemKind, Variant,
+};
+use std::fmt::Write;
+
+/// The serialized key of a named field.
+fn field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+/// The serialized name of a variant (`rename` wins over `rename_all`).
+fn variant_name(item: &Item, v: &Variant) -> String {
+    if let Some(r) = &v.rename {
+        return r.clone();
+    }
+    match &item.attrs.rename_all {
+        Some(rule) => apply_rename_all(rule, &v.name),
+        None => v.name.clone(),
+    }
+}
+
+/// Statements serializing named fields into a `Map` binding named `__obj`.
+/// `expr_of` yields a `&T`-typed expression for each field.
+fn ser_named_fields(fields: &[Field], expr_of: &dyn Fn(&Field) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let access = expr_of(f);
+        if f.attrs.flatten {
+            let _ = write!(
+                out,
+                "match ::serde::Serialize::to_json({access}) {{ \
+                   ::serde::Value::Object(__flat) => {{ \
+                     for (__k, __val) in __flat.into_iter() {{ __obj.insert(__k, __val); }} \
+                   }} \
+                   __other => {{ __obj.insert({key:?}.to_string(), __other); }} \
+                 }} "
+            );
+            continue;
+        }
+        let insert = match &f.attrs.with {
+            Some(with) => {
+                format!("__obj.insert({key:?}.to_string(), {with}::to_json({access}));")
+            }
+            None => {
+                format!("__obj.insert({key:?}.to_string(), ::serde::Serialize::to_json({access}));")
+            }
+        };
+        match &f.attrs.skip_serializing_if {
+            Some(skip) => {
+                let _ = write!(out, "if !{skip}({access}) {{ {insert} }} ");
+            }
+            None => {
+                let _ = write!(out, "{insert} ");
+            }
+        }
+    }
+    out
+}
+
+/// A struct-literal body (`field: <parse expr>, ...`) deserializing named
+/// fields out of a `&Map` binding named `__obj` (with `__v` the full value,
+/// for `flatten`).
+fn de_named_fields(fields: &[Field], ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let name = &f.name;
+        let ty = &f.ty;
+        if f.attrs.flatten {
+            let _ = write!(
+                out,
+                "{name}: <{ty} as ::serde::Deserialize>::from_json(__v)?, "
+            );
+            continue;
+        }
+        if let Some(with) = &f.attrs.with {
+            let _ = write!(
+                out,
+                "{name}: {with}::from_json(__obj.get({key:?}).unwrap_or(&::serde::Value::Null))?, "
+            );
+            continue;
+        }
+        let missing = match &f.attrs.default {
+            Some(DefaultAttr::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultAttr::Path(path)) => format!("{path}()"),
+            None if is_option_type(ty) => "::std::option::Option::None".to_string(),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing({key:?}, {ctx:?}))"
+            ),
+        };
+        let _ = write!(
+            out,
+            "{name}: match __obj.get({key:?}) {{ \
+               ::std::option::Option::Some(__x) => <{ty} as ::serde::Deserialize>::from_json(__x)?, \
+               ::std::option::Option::None => {missing}, \
+             }}, "
+        );
+    }
+    out
+}
+
+/// An expression serializing one variant's payload (no tag), given the
+/// bindings introduced by [`variant_pattern`].
+fn ser_variant_payload(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(types) if types.len() == 1 => "::serde::Serialize::to_json(__f0)".to_string(),
+        Fields::Tuple(types) => {
+            let items: Vec<String> = (0..types.len())
+                .map(|i| format!("::serde::Serialize::to_json(__f{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let body = ser_named_fields(fields, &|f| f.name.clone());
+            format!(
+                "{{ let mut __obj = ::serde::Map::new(); {body} ::serde::Value::Object(__obj) }}"
+            )
+        }
+    }
+}
+
+/// The match pattern binding a variant's fields (`__f0`… for tuples, field
+/// names for named fields).
+fn variant_pattern(enum_name: &str, v: &Variant) -> String {
+    match &v.fields {
+        Fields::Unit => format!("{enum_name}::{}", v.name),
+        Fields::Tuple(types) => {
+            let binds: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+            format!("{enum_name}::{}({})", v.name, binds.join(", "))
+        }
+        Fields::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            format!("{enum_name}::{} {{ {} }}", v.name, binds.join(", "))
+        }
+    }
+}
+
+/// An expression (`(|| -> Result<Self, DeError> { .. })()`) deserializing one
+/// variant's payload from the value expression `src`.
+fn de_variant_payload(enum_name: &str, v: &Variant, src: &str, ctx: &str) -> String {
+    let vname = &v.name;
+    let body = match &v.fields {
+        Fields::Unit => format!("::std::result::Result::Ok({enum_name}::{vname})"),
+        Fields::Tuple(types) if types.len() == 1 => {
+            let ty = &types[0];
+            format!(
+                "::std::result::Result::Ok({enum_name}::{vname}(\
+                   <{ty} as ::serde::Deserialize>::from_json({src})?))"
+            )
+        }
+        Fields::Tuple(types) => {
+            let mut parse = String::new();
+            for (i, ty) in types.iter().enumerate() {
+                let _ = write!(
+                    parse,
+                    "<{ty} as ::serde::Deserialize>::from_json(&__arr[{i}])?, "
+                );
+            }
+            let n = types.len();
+            format!(
+                "{{ let __arr = {src}.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", {ctx:?}))?; \
+                   if __arr.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::DeError::expected(\
+                       \"{n}-element array\", {ctx:?})); }} \
+                   ::std::result::Result::Ok({enum_name}::{vname}({parse})) }}"
+            )
+        }
+        Fields::Named(fields) => {
+            let parse = de_named_fields(fields, ctx);
+            format!(
+                "{{ let __v = {src}; \
+                   let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", {ctx:?}))?; \
+                   ::std::result::Result::Ok({enum_name}::{vname} {{ {parse} }}) }}"
+            )
+        }
+    };
+    format!("(|| -> ::std::result::Result<{enum_name}, ::serde::DeError> {{ {body} }})()")
+}
+
+pub(crate) fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let stmts = ser_named_fields(fields, &|f| format!("(&self.{})", f.name));
+            format!("let mut __obj = ::serde::Map::new(); {stmts} ::serde::Value::Object(__obj)")
+        }
+        ItemKind::Struct(Fields::Tuple(types)) if types.len() == 1 => {
+            "::serde::Serialize::to_json(&self.0)".to_string()
+        }
+        ItemKind::Struct(Fields::Tuple(types)) => {
+            let items: Vec<String> = (0..types.len())
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let pattern = variant_pattern(name, v);
+                let vname = variant_name(item, v);
+                let payload = ser_variant_payload(&v.fields);
+                let expr = if item.attrs.untagged {
+                    payload
+                } else if let (Some(tag), Some(content)) = (&item.attrs.tag, &item.attrs.content) {
+                    // Adjacently tagged.
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{{ let mut __m = ::serde::Map::new(); \
+                               __m.insert({tag:?}.to_string(), \
+                                 ::serde::Value::String({vname:?}.to_string())); \
+                               ::serde::Value::Object(__m) }}"
+                        ),
+                        _ => format!(
+                            "{{ let mut __m = ::serde::Map::new(); \
+                               __m.insert({tag:?}.to_string(), \
+                                 ::serde::Value::String({vname:?}.to_string())); \
+                               __m.insert({content:?}.to_string(), {payload}); \
+                               ::serde::Value::Object(__m) }}"
+                        ),
+                    }
+                } else if let Some(tag) = &item.attrs.tag {
+                    // Internally tagged.
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{{ let mut __m = ::serde::Map::new(); \
+                               __m.insert({tag:?}.to_string(), \
+                                 ::serde::Value::String({vname:?}.to_string())); \
+                               ::serde::Value::Object(__m) }}"
+                        ),
+                        Fields::Named(fields) => {
+                            let stmts = ser_named_fields(fields, &|f| f.name.clone());
+                            format!(
+                                "{{ let mut __obj = ::serde::Map::new(); \
+                                   __obj.insert({tag:?}.to_string(), \
+                                     ::serde::Value::String({vname:?}.to_string())); \
+                                   {stmts} ::serde::Value::Object(__obj) }}"
+                            )
+                        }
+                        Fields::Tuple(_) => panic!(
+                            "serde shim: internally tagged tuple variants are unsupported \
+                             ({name}::{})",
+                            v.name
+                        ),
+                    }
+                } else {
+                    // Externally tagged (default).
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("::serde::Value::String({vname:?}.to_string())")
+                        }
+                        _ => format!(
+                            "{{ let mut __m = ::serde::Map::new(); \
+                               __m.insert({vname:?}.to_string(), {payload}); \
+                               ::serde::Value::Object(__m) }}"
+                        ),
+                    }
+                };
+                let _ = write!(arms, "{pattern} => {expr}, ");
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_json(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+pub(crate) fn deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let parse = de_named_fields(fields, name);
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                   ::serde::DeError::expected(\"object\", {name:?}))?; \
+                 ::std::result::Result::Ok({name} {{ {parse} }})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(types)) if types.len() == 1 => {
+            let ty = &types[0];
+            format!(
+                "::std::result::Result::Ok({name}(\
+                   <{ty} as ::serde::Deserialize>::from_json(__v)?))"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(types)) => {
+            let mut parse = String::new();
+            for (i, ty) in types.iter().enumerate() {
+                let _ = write!(
+                    parse,
+                    "<{ty} as ::serde::Deserialize>::from_json(&__arr[{i}])?, "
+                );
+            }
+            let n = types.len();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                   ::serde::DeError::expected(\"array\", {name:?}))?; \
+                 if __arr.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"{n}-element array\", {name:?})); }} \
+                 ::std::result::Result::Ok({name}({parse}))"
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => gen_enum_deserialize(item, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_json(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if item.attrs.untagged {
+        let mut attempts = String::new();
+        for v in variants {
+            let parse = de_variant_payload(name, v, "__v", name);
+            let _ = write!(
+                attempts,
+                "if let ::std::result::Result::Ok(__x) = {parse} {{ \
+                   return ::std::result::Result::Ok(__x); }} "
+            );
+        }
+        return format!(
+            "{attempts} ::std::result::Result::Err(::serde::DeError::custom(\
+               format!(\"no untagged variant of {name} matched\")))"
+        );
+    }
+    if let (Some(tag), Some(content)) = (&item.attrs.tag, &item.attrs.content) {
+        // Adjacently tagged.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = variant_name(item, v);
+            let ctx = format!("{name}::{}", v.name);
+            let parse = de_variant_payload(name, v, "__content", &ctx);
+            let _ = write!(arms, "{vname:?} => {parse}, ");
+        }
+        return format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+               ::serde::DeError::expected(\"object\", {name:?}))?; \
+             let __tag = __obj.get({tag:?}).and_then(|t| t.as_str()).ok_or_else(|| \
+               ::serde::DeError::missing({tag:?}, {name:?}))?; \
+             let __content = __obj.get({content:?}).unwrap_or(&::serde::Value::Null); \
+             match __tag {{ {arms} __other => ::std::result::Result::Err(\
+               ::serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other}}\"))), }}"
+        );
+    }
+    if let Some(tag) = &item.attrs.tag {
+        // Internally tagged: fields come from the same object.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = variant_name(item, v);
+            let ctx = format!("{name}::{}", v.name);
+            let parse = match &v.fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name}::{})", v.name),
+                Fields::Named(fields) => {
+                    let body = de_named_fields(fields, &ctx);
+                    let variant = &v.name;
+                    format!("::std::result::Result::Ok({name}::{variant} {{ {body} }})")
+                }
+                Fields::Tuple(_) => {
+                    panic!("serde shim: internally tagged tuple variants are unsupported ({ctx})")
+                }
+            };
+            let _ = write!(arms, "{vname:?} => {parse}, ");
+        }
+        return format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+               ::serde::DeError::expected(\"object\", {name:?}))?; \
+             let __tag = __obj.get({tag:?}).and_then(|t| t.as_str()).ok_or_else(|| \
+               ::serde::DeError::missing({tag:?}, {name:?}))?; \
+             match __tag {{ {arms} __other => ::std::result::Result::Err(\
+               ::serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other}}\"))), }}"
+        );
+    }
+    // Externally tagged (default).
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vname = variant_name(item, v);
+        let ctx = format!("{name}::{}", v.name);
+        match &v.fields {
+            Fields::Unit => {
+                let variant = &v.name;
+                let _ = write!(
+                    unit_arms,
+                    "{vname:?} => return ::std::result::Result::Ok({name}::{variant}), "
+                );
+            }
+            _ => {
+                let parse = de_variant_payload(name, v, "__inner", &ctx);
+                let _ = write!(keyed_arms, "{vname:?} => {parse}, ");
+            }
+        }
+    }
+    let object_path = if keyed_arms.is_empty() {
+        format!("::std::result::Result::Err(::serde::DeError::expected(\"string\", {name:?}))")
+    } else {
+        format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+               ::serde::DeError::expected(\"string or object\", {name:?}))?; \
+             let (__key, __inner) = __obj.iter().next().ok_or_else(|| \
+               ::serde::DeError::expected(\"single-key object\", {name:?}))?; \
+             match __key.as_str() {{ {keyed_arms} __other => ::std::result::Result::Err(\
+               ::serde::DeError::custom(format!(\
+                 \"unknown {name} variant {{__other}}\"))), }}"
+        )
+    };
+    let string_path = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {{ \
+               match __s {{ {unit_arms} __other => return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(format!(\
+                   \"unknown {name} variant {{__other}}\"))), }} \
+             }} "
+        )
+    };
+    format!("{string_path}{object_path}")
+}

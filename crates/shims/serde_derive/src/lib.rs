@@ -1,0 +1,181 @@
+//! In-repo shim for `serde_derive` (see `crates/shims/`).
+//!
+//! Generates impls of the serde shim's `Serialize` (`to_json`) and
+//! `Deserialize` (`from_json`) traits. The item token stream is parsed
+//! directly (no `syn`/`quote` in this offline workspace) and the generated
+//! impl is emitted as source text.
+//!
+//! Supported shapes: structs with named fields, newtype/tuple structs, and
+//! enums with unit/newtype/tuple/struct variants. Supported attributes:
+//!
+//! - container: `rename_all = "lowercase" | "snake_case"`, `tag = "..."`,
+//!   `content = "..."`, `untagged`
+//! - variant: `rename = "..."`
+//! - field: `rename = "..."`, `default`, `default = "path"`,
+//!   `skip_serializing_if = "path"`, `flatten`, `with = "module"`
+//!
+//! `with` modules expose `to_json(&T) -> serde::Value` and
+//! `from_json(&serde::Value) -> Result<T, serde::DeError>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod generate;
+mod parse;
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    generate::serialize_impl(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse_item(input);
+    generate::deserialize_impl(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// The parsed shape of a `#[derive(...)]` item.
+pub(crate) struct Item {
+    pub name: String,
+    pub attrs: ContainerAttrs,
+    pub kind: ItemKind,
+}
+
+pub(crate) enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields: just the type texts.
+    Tuple(Vec<String>),
+    Unit,
+}
+
+pub(crate) struct Field {
+    pub name: String,
+    pub ty: String,
+    pub attrs: FieldAttrs,
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub rename: Option<String>,
+    pub fields: Fields,
+}
+
+#[derive(Default)]
+pub(crate) struct ContainerAttrs {
+    pub rename_all: Option<String>,
+    pub tag: Option<String>,
+    pub content: Option<String>,
+    pub untagged: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct FieldAttrs {
+    pub rename: Option<String>,
+    pub default: Option<DefaultAttr>,
+    pub skip_serializing_if: Option<String>,
+    pub flatten: bool,
+    pub with: Option<String>,
+}
+
+pub(crate) enum DefaultAttr {
+    Std,
+    Path(String),
+}
+
+/// Applies `rename_all` to an identifier.
+pub(crate) fn apply_rename_all(rule: &str, name: &str) -> String {
+    match rule {
+        "lowercase" => name.to_lowercase(),
+        "snake_case" => {
+            let mut out = String::with_capacity(name.len() + 4);
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        other => panic!("serde shim: unsupported rename_all rule {other:?}"),
+    }
+}
+
+/// True when a captured type text is an `Option<...>`.
+pub(crate) fn is_option_type(ty: &str) -> bool {
+    let t = ty.trim_start_matches(':').trim_start();
+    t == "Option"
+        || t.starts_with("Option<")
+        || t.starts_with("Option <")
+        || t.starts_with("std :: option :: Option")
+        || t.starts_with("core :: option :: Option")
+}
+
+/// Splits a delimiter-free token run on top-level commas, tracking angle
+/// brackets so `Map<K, V>` stays whole. Groups hide their own commas.
+pub(crate) fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Renders a token run back to source text.
+pub(crate) fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.to_string());
+    }
+    s
+}
+
+/// Strips leading visibility (`pub`, `pub(crate)`, …) from a token run.
+pub(crate) fn strip_visibility(tokens: &[TokenTree]) -> &[TokenTree] {
+    match tokens {
+        [TokenTree::Ident(id), TokenTree::Group(g), rest @ ..]
+            if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            rest
+        }
+        [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => rest,
+        other => other,
+    }
+}

@@ -1,0 +1,316 @@
+//! Token-stream parsing for the derive shim: item → [`crate::Item`].
+
+use crate::{
+    split_top_level_commas, strip_visibility, tokens_to_string, ContainerAttrs, DefaultAttr, Field,
+    FieldAttrs, Fields, Item, ItemKind, Variant,
+};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One `key` or `key = "value"` argument of a `#[serde(...)]` attribute.
+type SerdeArg = (String, Option<String>);
+
+pub(crate) fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut serde_args: Vec<SerdeArg> = Vec::new();
+
+    // Attributes and visibility precede the `struct` / `enum` keyword.
+    let kind_is_enum = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    serde_args.extend(parse_attr_group(g));
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break false;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                i += 1;
+                break true;
+            }
+            Some(other) => panic!("serde shim: unexpected token {other} before item keyword"),
+            None => panic!("serde shim: ran out of tokens before item keyword"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic types are not supported (derive on {name})");
+        }
+    }
+
+    let attrs = container_attrs(&serde_args, &name);
+
+    let kind = if kind_is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde shim: expected enum body for {name}, got {other:?}"),
+        };
+        ItemKind::Enum(parse_variants(body.stream()))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Fields::Unit),
+            other => panic!("serde shim: expected struct body for {name}, got {other:?}"),
+        }
+    };
+
+    Item { name, attrs, kind }
+}
+
+/// Extracts the `#[serde(...)]` arguments out of one attribute bracket
+/// group; other attributes (doc comments, derives, lints) yield nothing.
+fn parse_attr_group(group: &proc_macro::Group) -> Vec<SerdeArg> {
+    if group.delimiter() != Delimiter::Bracket {
+        return Vec::new();
+    }
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)]
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            parse_serde_args(args.stream())
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Parses `key`, `key = "value"` pairs separated by commas.
+fn parse_serde_args(stream: TokenStream) -> Vec<SerdeArg> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde shim: unexpected attribute token {other}"),
+        };
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        value = Some(unquote(&lit.to_string()));
+                        i += 1;
+                    }
+                    other => panic!("serde shim: expected string after `{key} =`, got {other:?}"),
+                }
+            }
+        }
+        out.push((key, value));
+    }
+    out
+}
+
+/// Strips the surrounding quotes of a string-literal token.
+fn unquote(lit: &str) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde shim: expected string literal, got {lit}"));
+    assert!(
+        !inner.contains('\\'),
+        "serde shim: escapes in attribute strings are not supported ({lit})"
+    );
+    inner.to_string()
+}
+
+fn container_attrs(args: &[SerdeArg], name: &str) -> ContainerAttrs {
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in args {
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v.clone()),
+            ("tag", Some(v)) => attrs.tag = Some(v.clone()),
+            ("content", Some(v)) => attrs.content = Some(v.clone()),
+            ("untagged", None) => attrs.untagged = true,
+            (other, _) => {
+                panic!("serde shim: unsupported container attribute `{other}` on {name}")
+            }
+        }
+    }
+    attrs
+}
+
+fn field_attrs(args: &[SerdeArg], field: &str) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    for (key, value) in args {
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v.clone()),
+            ("default", None) => attrs.default = Some(DefaultAttr::Std),
+            ("default", Some(v)) => attrs.default = Some(DefaultAttr::Path(v.clone())),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v.clone()),
+            ("flatten", None) => attrs.flatten = true,
+            ("with", Some(v)) => attrs.with = Some(v.clone()),
+            (other, _) => panic!("serde shim: unsupported field attribute `{other}` on {field}"),
+        }
+    }
+    attrs
+}
+
+/// Parses `name: Type` fields (with optional attributes and visibility) out
+/// of a brace group's stream.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serde_args: Vec<SerdeArg> = Vec::new();
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                serde_args.extend(parse_attr_group(g));
+                i += 1;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field {name}, got {other:?}"),
+        }
+        // Type: tokens until a top-level comma.
+        let mut ty_tokens: Vec<TokenTree> = Vec::new();
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty_tokens.push(t.clone());
+            i += 1;
+        }
+        let attrs = field_attrs(&serde_args, &name);
+        fields.push(Field {
+            name,
+            ty: tokens_to_string(&ty_tokens),
+            attrs,
+        });
+    }
+    fields
+}
+
+/// Parses a paren group as tuple-struct / tuple-variant fields.
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let types: Vec<String> = split_top_level_commas(&tokens)
+        .iter()
+        .map(|seg| tokens_to_string(strip_visibility(seg)))
+        .collect();
+    if types.is_empty() {
+        Fields::Unit
+    } else {
+        Fields::Tuple(types)
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut serde_args: Vec<SerdeArg> = Vec::new();
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                serde_args.extend(parse_attr_group(g));
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                parse_tuple_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Skip the separating comma (and reject discriminants).
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim: enum discriminants are not supported (variant {name})")
+            }
+            _ => {}
+        }
+        let mut rename = None;
+        for (key, value) in &serde_args {
+            match (key.as_str(), value) {
+                ("rename", Some(v)) => rename = Some(v.clone()),
+                (other, _) => {
+                    panic!("serde shim: unsupported variant attribute `{other}` on {name}")
+                }
+            }
+        }
+        variants.push(Variant {
+            name,
+            rename,
+            fields,
+        });
+    }
+    variants
+}

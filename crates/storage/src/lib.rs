@@ -24,7 +24,7 @@ pub mod selection;
 pub mod star;
 pub mod table;
 
-pub use column::{Column, ColumnData};
+pub use column::{Column, ColumnData, ColumnSlice};
 pub use csv::{read_csv, write_csv};
 pub use dictionary::Dictionary;
 pub use error::StorageError;

@@ -118,6 +118,36 @@ impl SelVec {
         }
     }
 
+    /// The raw 64-bit words of the bitmap (batch readers).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites word `word_index` (rows `word_index*64 ..`) with `bits`.
+    ///
+    /// This is the bulk-install primitive for vectorized filters: a morsel's
+    /// match mask lands word-by-word instead of bit-by-bit. Bits beyond
+    /// `len` are masked off to preserve the popcount invariant. Panics when
+    /// `word_index` is out of range.
+    #[inline]
+    pub fn set_word(&mut self, word_index: usize, bits: u64) {
+        self.words[word_index] = bits;
+        if word_index == self.words.len() - 1 {
+            Self::mask_tail(&mut self.words, self.len);
+        }
+    }
+
+    /// Builds a selection directly from bitmap words (row `i` selected when
+    /// bit `i % 64` of word `i / 64` is set). Missing words read as zero;
+    /// excess words and tail bits beyond `len` are dropped.
+    pub fn from_words<I: IntoIterator<Item = u64>>(len: usize, words: I) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut buf: Vec<u64> = words.into_iter().take(nwords).collect();
+        buf.resize(nwords, 0);
+        Self::mask_tail(&mut buf, len);
+        SelVec { words: buf, len }
+    }
+
     /// Retains only rows for which `keep` returns true (called on selected rows only).
     pub fn refine(&mut self, mut keep: impl FnMut(usize) -> bool) {
         // Iterate word-wise so clearing bits does not invalidate iteration.
@@ -232,5 +262,30 @@ mod tests {
     fn intersect_length_mismatch_panics() {
         let mut a = SelVec::all(10);
         a.intersect(&SelVec::all(11));
+    }
+
+    #[test]
+    fn set_word_masks_tail() {
+        let mut s = SelVec::none(70);
+        s.set_word(0, u64::MAX);
+        assert_eq!(s.count(), 64);
+        s.set_word(1, u64::MAX);
+        // Only rows 64..70 exist in the last word.
+        assert_eq!(s.count(), 70);
+        assert!(s.iter().all(|i| i < 70));
+    }
+
+    #[test]
+    fn from_words_matches_bitwise_construction() {
+        let sel = SelVec::from_words(130, [0b101u64, u64::MAX, u64::MAX]);
+        assert!(sel.contains(0) && !sel.contains(1) && sel.contains(2));
+        assert_eq!(sel.count(), 2 + 64 + 2);
+        // Excess words beyond the length are ignored.
+        let extra = SelVec::from_words(10, [0b11u64, u64::MAX]);
+        assert_eq!(extra.count(), 2);
+        // Missing words read as zero.
+        let short = SelVec::from_words(130, [u64::MAX]);
+        assert_eq!(short.count(), 64);
+        assert_eq!(short.words().len(), 3);
     }
 }

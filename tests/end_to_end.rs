@@ -142,7 +142,15 @@ fn middleware_layer_adds_overhead_but_same_results() {
     let mut gt = CachedGroundTruth::new(ds.clone());
     let mut bare = ExactAdapter::with_defaults();
     let bare_report = run(&mut bare, &ds, 20_000, &mut gt);
-    let mut layered = CachingAdapter::with_defaults(ExactAdapter::with_defaults());
+    // Result caching off: repeated queries answered from cache are *faster*
+    // than a bare scan, which would mask the overhead this test pins down.
+    let mut layered = CachingAdapter::new(
+        ExactAdapter::with_defaults(),
+        idebench::engine_cache::CacheConfig {
+            overhead_s: 1.5,
+            enable_cache: false,
+        },
+    );
     let layered_report = run(&mut layered, &ds, 20_000, &mut gt);
 
     let mean_lat = |r: &DetailedReport| {

@@ -297,6 +297,133 @@ proptest! {
     }
 }
 
+// ------------------------------------- vectorized/scalar differential
+
+/// Builds a random-but-seeded filter over the flights columns.
+fn arb_filter(which: u8, lo: f64, hi: f64) -> FilterExpr {
+    let range = |column: &str, lo: f64, hi: f64| {
+        FilterExpr::Pred(Predicate::Range {
+            column: column.into(),
+            min: lo.min(hi),
+            max: lo.max(hi) + 1.0,
+        })
+    };
+    let isin = |values: &[&str]| {
+        FilterExpr::Pred(Predicate::In {
+            column: "carrier".into(),
+            values: values.iter().map(|s| s.to_string()).collect(),
+        })
+    };
+    match which % 5 {
+        0 => range("dep_delay", lo, hi),
+        1 => isin(&["C00", "C02", "C05"]),
+        2 => isin(&["C01"]).and(range("distance", lo.abs() * 20.0, hi.abs() * 30.0)),
+        3 => FilterExpr::Or(vec![
+            isin(&["C03", "ZZ_MISSING"]),
+            range("arr_delay", lo, hi),
+        ]),
+        _ => FilterExpr::And(vec![]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vectorized batch path (dense and sparse stores, natural and
+    /// shuffled orders, arbitrary budget slicing, star and denormalized
+    /// datasets) produces bit-identical results to the retained scalar
+    /// reference path.
+    #[test]
+    fn vectorized_matches_scalar_differentially(
+        seed in 0u64..25,
+        rows in 200usize..3_000,
+        which_filter in any::<u8>(),
+        lo in -50.0f64..50.0,
+        hi in -50.0f64..120.0,
+        width in 1u32..50,
+        budget in 16u64..4_000,
+        shuffle in any::<bool>(),
+        two_d in any::<bool>(),
+        nominal in any::<bool>(),
+    ) {
+        use idebench::query::execute_exact_scalar;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        let table = idebench::datagen::flights::generate(rows, seed);
+        let denorm = Dataset::Denormalized(Arc::new(table.clone()));
+        let star = idebench::datagen::normalize_flights(&table)
+            .map_err(TestCaseError::fail)?;
+
+        let mut binning = vec![if nominal {
+            BinDef::Nominal { dimension: "carrier".into() }
+        } else {
+            BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: f64::from(width),
+                anchor: lo,
+            }
+        }];
+        if two_d {
+            binning.push(BinDef::Nominal { dimension: "origin_state".into() });
+        }
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            binning,
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+                AggregateSpec::over(AggFunc::Sum, "distance"),
+                AggregateSpec::over(AggFunc::Min, "dep_delay"),
+                AggregateSpec::over(AggFunc::Max, "dep_delay"),
+            ],
+        );
+        let q = Query::for_viz(&spec, Some(arb_filter(which_filter, lo, hi)));
+
+        // Bit-identical f64 accumulation requires the reference to visit
+        // rows in the same order as the run under test.
+        let scalar_with_order = |ds: &Dataset, order: Option<&[u32]>| {
+            let resolved = idebench::query::ResolvedQuery::new(ds, &q)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            let mut acc =
+                idebench::query::GroupedAcc::for_query(&resolved, &q.aggregates);
+            for i in 0..resolved.num_rows {
+                let row = order.map_or(i, |o| o[i] as usize);
+                acc.process_row(&resolved, row);
+            }
+            Ok::<_, TestCaseError>(acc.finish_exact())
+        };
+        let order = shuffle.then(|| {
+            let mut o: Vec<u32> = (0..rows as u32).collect();
+            o.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed ^ 0xff));
+            Arc::new(o)
+        });
+
+        for ds in [&denorm, &star] {
+            let scalar = execute_exact_scalar(ds, &q)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            // One-shot vectorized scan.
+            let vectorized = execute_exact(ds, &q)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(&vectorized, &scalar, "one-shot vs scalar");
+
+            // Budget-sliced chunked scan, optionally over a shuffled order.
+            let ordered_scalar = scalar_with_order(ds, order.as_deref().map(|o| &o[..]))?;
+            let mut run = ChunkedRun::with_order(
+                ds.clone(), q.clone(), order.clone(), SnapshotMode::Exact,
+            ).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            while !run.is_done() {
+                if run.advance(budget) == 0 && !run.is_done() {
+                    run.advance(budget + 64);
+                }
+            }
+            let chunked = run.snapshot().unwrap();
+            prop_assert_eq!(&chunked, &ordered_scalar, "chunked vs ordered scalar");
+        }
+    }
+}
+
 // ------------------------------------------------- star/denorm equivalence
 
 proptest! {
