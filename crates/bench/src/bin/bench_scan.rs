@@ -1,15 +1,26 @@
 //! Scan-throughput benchmark: emits `BENCH_scan.json` with rows/sec for the
 //! vectorized execution core on the paper's canonical scan shapes, plus the
-//! retained scalar reference path for the speedup ratio.
+//! retained scalar reference path for the speedup ratio, and per-worker-
+//! count scaling rows for the parallel morsel dispatcher.
+//!
+//! Doubles as the CI regression gate: the process exits non-zero if any
+//! vectorized case drops below 1× the scalar path (set
+//! `IDEBENCH_BENCH_NO_GATE=1` to disable when exploring).
 
 use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
 use idebench_core::{FilterExpr, Predicate, Query, VizSpec};
-use idebench_query::{execute_exact, execute_exact_scalar};
+use idebench_query::{
+    available_workers, execute_exact, execute_exact_parallel, execute_exact_scalar, AccMode,
+    CompiledPlan,
+};
 use idebench_storage::Dataset;
 use std::sync::Arc;
 use std::time::Instant;
 
 const ROWS: usize = 500_000;
+/// Larger table for the worker-scaling rows, so per-chunk work dominates
+/// thread-pool overhead.
+const SCALING_ROWS: usize = 2_000_000;
 
 fn time_rows_per_sec(rows: usize, mut f: impl FnMut()) -> f64 {
     // Warm-up, then best of several measured repetitions.
@@ -60,6 +71,8 @@ fn exact_scan() -> Query {
     Query::for_viz(&spec, None)
 }
 
+/// Bucketed × bucketed 2D aggregation. The delay columns' min/max stats
+/// bound both bucket spaces, so this lowers to the dense flat-array store.
 fn binned_2d() -> Query {
     let spec = VizSpec::new(
         "bench",
@@ -84,17 +97,45 @@ fn binned_2d() -> Query {
     Query::for_viz(&spec, None)
 }
 
+/// Nominal × bucketed 2D aggregation — the mixed shape the dense bucketed
+/// lowering targets (heatmap of carrier × delay band).
+fn dense_bucketed_2d() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![
+            BinDef::Nominal {
+                dimension: "carrier".into(),
+            },
+            BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 5.0,
+                anchor: 0.0,
+            },
+        ],
+        vec![
+            AggregateSpec::count(),
+            AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+        ],
+    );
+    Query::for_viz(&spec, None)
+}
+
 fn main() {
     let ds = Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(ROWS, 42)));
 
-    let cases: [(&str, Query); 3] = [
+    let cases: [(&str, Query); 4] = [
         ("exact_scan_1d_nominal_count", exact_scan()),
         ("filtered_scan_1d_nominal_avg", filtered_1d_nominal()),
         ("binned_2d_agg", binned_2d()),
+        ("dense_bucketed_2d_agg", dense_bucketed_2d()),
     ];
 
     let mut entries = Vec::new();
+    let mut regressions = Vec::new();
     for (name, q) in &cases {
+        let plan = CompiledPlan::compile(&ds, q).expect("bench query compiles");
+        let dense = matches!(plan.acc_mode(), AccMode::Dense(_));
         assert_eq!(
             execute_exact(&ds, q).unwrap(),
             execute_exact_scalar(&ds, q).unwrap(),
@@ -108,21 +149,94 @@ fn main() {
         });
         let speedup = vec_rps / scalar_rps;
         println!(
-            "{name:<32} vectorized {vec_rps:>12.0} rows/s   scalar {scalar_rps:>12.0} rows/s   speedup {speedup:.2}x"
+            "{name:<32} vectorized {vec_rps:>12.0} rows/s   scalar {scalar_rps:>12.0} rows/s   speedup {speedup:.2}x   {}",
+            if dense { "dense" } else { "sparse" }
         );
+        if speedup < 1.0 {
+            regressions.push(format!("{name}: {speedup:.2}x"));
+        }
         entries.push(serde_json::json!({
             "case": name,
             "rows": ROWS,
+            "dense": dense,
             "vectorized_rows_per_sec": vec_rps,
             "scalar_rows_per_sec": scalar_rps,
             "speedup": speedup,
         }));
     }
-    let report = serde_json::json!({ "benchmark": "scan", "cases": entries });
+
+    // Worker-scaling rows on the unfiltered count scan: rows/sec per worker
+    // count, speedups relative to the single-worker vectorized baseline
+    // (PR 1's path) and to the scalar reference. Results are asserted
+    // bit-identical across worker counts before timing.
+    let cores = available_workers();
+    let scaling_ds = Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(
+        SCALING_ROWS,
+        42,
+    )));
+    let scan = exact_scan();
+    let scalar_ref = execute_exact_scalar(&scaling_ds, &scan).unwrap();
+    let scalar_rps = time_rows_per_sec(SCALING_ROWS, || {
+        let _ = execute_exact_scalar(&scaling_ds, &scan).unwrap();
+    });
+    let mut worker_counts = vec![1usize, 2, 4];
+    if !worker_counts.contains(&cores) {
+        worker_counts.push(cores);
+    }
+    let mut scaling = Vec::new();
+    let mut baseline_rps = f64::NAN;
+    for &workers in &worker_counts {
+        assert_eq!(
+            execute_exact_parallel(&scaling_ds, &scan, workers).unwrap(),
+            scalar_ref,
+            "parallel scan ({workers} workers) must stay bit-identical to scalar"
+        );
+        let rps = time_rows_per_sec(SCALING_ROWS, || {
+            let _ = execute_exact_parallel(&scaling_ds, &scan, workers).unwrap();
+        });
+        if workers == 1 {
+            baseline_rps = rps;
+        }
+        println!(
+            "count_scan_workers_{workers:<2}           parallel   {rps:>12.0} rows/s   vs 1-worker {:.2}x   vs scalar {:.2}x",
+            rps / baseline_rps,
+            rps / scalar_rps,
+        );
+        scaling.push(serde_json::json!({
+            "case": "exact_scan_1d_nominal_count",
+            "rows": SCALING_ROWS,
+            "workers": workers,
+            "rows_per_sec": rps,
+            "speedup_vs_single_worker": rps / baseline_rps,
+            "speedup_vs_scalar": rps / scalar_rps,
+        }));
+    }
+
+    // Multi-worker rows on a 1-core machine only measure pool overhead;
+    // flag them so nobody reads ~1.0x as the dispatcher's ceiling.
+    let scaling_note = if cores == 1 {
+        "machine has 1 core: scaling rows are non-evidentiary (they measure \
+         dispatch overhead, not parallel speedup); regenerate on a \
+         multi-core host"
+    } else {
+        ""
+    };
+    let report = serde_json::json!({
+        "benchmark": "scan",
+        "available_cores": cores,
+        "scaling_note": scaling_note,
+        "cases": entries,
+        "scaling": scaling,
+    });
     std::fs::write(
         "BENCH_scan.json",
         serde_json::to_string_pretty(&report).unwrap(),
     )
     .expect("write BENCH_scan.json");
-    println!("wrote BENCH_scan.json");
+    println!("wrote BENCH_scan.json (available cores: {cores})");
+
+    if !regressions.is_empty() && std::env::var_os("IDEBENCH_BENCH_NO_GATE").is_none() {
+        eprintln!("vectorized cases regressed below 1x vs scalar: {regressions:?}");
+        std::process::exit(1);
+    }
 }

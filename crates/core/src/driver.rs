@@ -11,6 +11,18 @@
 //! the paper's 20-core testbed where a handful of concurrent queries do not
 //! contend (its Exp 4 found no significant concurrency effect). Under
 //! virtual execution the interaction's elapsed time is the slowest lane.
+//!
+//! Orthogonally to the lane model, each engine may parallelize a *single*
+//! query's scan over [`Settings::effective_workers`] worker threads
+//! (intra-query morsel dispatch). Fan-out engages per budget grant and only
+//! when a grant carries at least one dispatch chunk of rows — so one-shot
+//! scans (ground truth, wall-mode deadlines, large quanta) use the full
+//! pool, while fine-grained virtual-time stepping at the default
+//! `step_quantum` processes its small spans sequentially rather than paying
+//! a thread round-trip per step. Either way it is a wall-clock concern
+//! only: the virtual work-unit accounting the driver enforces is identical
+//! for every worker count, as are query results bit for bit, so `workers`
+//! never affects a report — only how fast it is produced.
 
 use crate::adapter::{PrepStats, QueryHandle, SystemAdapter};
 use crate::error::CoreError;

@@ -92,6 +92,26 @@ pub struct Settings {
     /// contention hypothesis the paper offers for Figure 6d.
     #[serde(default)]
     pub concurrency_penalty: f64,
+    /// Worker threads each engine may use for one query's scan (intra-query
+    /// parallelism in the morsel dispatcher). `0` (the default) means "all
+    /// available cores"; see [`Settings::effective_workers`]. Results are
+    /// bit-identical for every value — the dispatcher's fixed chunk grid
+    /// and in-order partial merge pin the accumulation sequence — so this
+    /// only trades wall-clock speed, never reproducibility. Note the
+    /// dispatcher fans out per budget grant and only when a grant carries
+    /// at least one dispatch chunk of rows: large grants and one-shot scans
+    /// parallelize, while small `step_quantum` grants step sequentially.
+    #[serde(default)]
+    pub workers: usize,
+}
+
+/// This machine's available parallelism, min 1 — the single fallback both
+/// [`Settings::effective_workers`] and the query dispatcher's
+/// `available_workers` resolve "use all cores" through.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Default for Settings {
@@ -109,6 +129,7 @@ impl Default for Settings {
             step_quantum: 16_384,
             seed: 42,
             concurrency_penalty: 0.0,
+            workers: 0,
         }
     }
 }
@@ -151,6 +172,23 @@ impl Settings {
     pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
         self.execution = execution;
         self
+    }
+
+    /// Builder-style setter for the scan worker count (`0` = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The scan worker count engines should configure on their runs:
+    /// `workers` itself, or — when it is 0 — this machine's available
+    /// parallelism (min 1).
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            available_parallelism()
+        } else {
+            self.workers
+        }
     }
 
     /// The TR in work units under virtual execution.
@@ -257,9 +295,31 @@ mod tests {
 
     #[test]
     fn settings_serde_roundtrip() {
-        let s = Settings::default().with_joins(true).with_seed(7);
+        let s = Settings::default()
+            .with_joins(true)
+            .with_seed(7)
+            .with_workers(3);
         let js = serde_json::to_string(&s).unwrap();
         let back: Settings = serde_json::from_str(&js).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn workers_default_to_available_parallelism() {
+        let s = Settings::default();
+        assert_eq!(s.workers, 0);
+        assert!(s.effective_workers() >= 1);
+        assert_eq!(s.with_workers(6).effective_workers(), 6);
+    }
+
+    #[test]
+    fn workers_field_optional_in_serialized_settings() {
+        // Settings serialized before the workers knob existed still load.
+        let js = r#"{"time_requirement_ms":3000,"think_time_ms":1000,
+            "confidence_level":0.95,"use_joins":false,"data_scale":"m",
+            "execution":{"mode":"virtual","work_rate":1000000.0},
+            "step_quantum":16384,"seed":42}"#;
+        let s: Settings = serde_json::from_str(js).unwrap();
+        assert_eq!(s.workers, 0);
     }
 }

@@ -7,6 +7,12 @@
 //! exactly that: it forwards queries to an inner [`SystemAdapter`], charges
 //! a constant overhead per query, and — the one optimization such layers do
 //! have — answers *repeated identical* queries from an exact-result cache.
+//!
+//! Settings (including the scan `workers` knob for intra-query parallel
+//! morsel dispatch) pass through `prepare` to the inner engine untouched,
+//! so the backend parallelizes exactly as it would without the middleware.
+//! Cached results stay valid across worker counts because parallel scans
+//! are bit-identical to sequential ones.
 
 use idebench_core::{
     AggResult, CoreError, PrepStats, Query, QueryHandle, Settings, StepStatus, SystemAdapter,
@@ -276,6 +282,18 @@ mod tests {
         while !h.step(10_000).is_done() {}
         let snap = h.snapshot().unwrap();
         assert_eq!(snap, execute_exact(&ds, &query()).unwrap());
+    }
+
+    #[test]
+    fn worker_settings_pass_through_to_inner_engine() {
+        let ds = dataset(20_000);
+        let mut a = adapter(100);
+        a.prepare(&ds, &Settings::default().with_workers(4))
+            .unwrap();
+        let mut h = a.submit(&query());
+        while !h.step(1_000_000).is_done() {}
+        // The inner engine's parallel scan is bit-identical to ground truth.
+        assert_eq!(h.snapshot().unwrap(), execute_exact(&ds, &query()).unwrap());
     }
 
     #[test]

@@ -100,6 +100,8 @@ pub struct ProgressiveAdapter {
     speculative: VecDeque<u64>,
     first_query_issued: bool,
     warmup_units: u64,
+    /// Scan worker-pool size, taken from the settings at prepare time.
+    workers: usize,
 }
 
 impl ProgressiveAdapter {
@@ -116,6 +118,7 @@ impl ProgressiveAdapter {
             speculative: VecDeque::new(),
             first_query_issued: false,
             warmup_units: 0,
+            workers: 1,
         }
     }
 
@@ -173,6 +176,7 @@ impl ProgressiveAdapter {
         );
         run.set_row_cost(cost);
         run.set_match_cost(self.config.match_cost);
+        run.set_workers(self.workers);
         let shared = Arc::new(Mutex::new(run));
         if self.config.enable_reuse || self.config.enable_speculation {
             self.cache.insert(fp, Arc::clone(&shared));
@@ -192,6 +196,7 @@ impl SystemAdapter for ProgressiveAdapter {
                 "progressive engine does not support joins (normalized schemas)".into(),
             ));
         }
+        self.workers = settings.effective_workers();
         if let Some(existing) = &self.dataset {
             if same_dataset(existing, dataset) {
                 self.z = settings.z_value();
@@ -200,6 +205,9 @@ impl SystemAdapter for ProgressiveAdapter {
             }
         }
         let rows = dataset.fact_rows();
+        // Column min/max stats power the planner's dense bucketed binning;
+        // warming them here keeps the O(rows) scan out of submit().
+        dataset.warm_numeric_stats();
         let mut order: Vec<u32> = (0..rows as u32).collect();
         let mut rng = StdRng::seed_from_u64(settings.seed ^ 0x9e37_79b9);
         order.shuffle(&mut rng);

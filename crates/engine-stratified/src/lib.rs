@@ -92,6 +92,8 @@ pub struct StratifiedAdapter {
     z: f64,
     overhead_units: u64,
     prep: PrepStats,
+    /// Scan worker-pool size, taken from the settings at prepare time.
+    workers: usize,
 }
 
 impl StratifiedAdapter {
@@ -109,6 +111,7 @@ impl StratifiedAdapter {
             z: 1.96,
             overhead_units: 0,
             prep: PrepStats::default(),
+            workers: 1,
         }
     }
 
@@ -182,6 +185,7 @@ impl SystemAdapter for StratifiedAdapter {
                 "stratified engine only works on de-normalized data".into(),
             ));
         }
+        self.workers = settings.effective_workers();
         if let Some(existing) = &self.source {
             if let (Dataset::Denormalized(a), Dataset::Denormalized(b)) = (existing, dataset) {
                 if Arc::ptr_eq(a, b) {
@@ -204,7 +208,11 @@ impl SystemAdapter for StratifiedAdapter {
         let rows = table.num_rows() as f64;
         let sample_rows = sample.num_rows() as f64;
         self.population = table.num_rows() as u64;
-        self.sample = Some(Dataset::Denormalized(Arc::new(sample)));
+        let sample = Dataset::Denormalized(Arc::new(sample));
+        // Column min/max stats power the planner's dense bucketed binning;
+        // warming them here keeps the O(rows) scan out of submit().
+        sample.warm_numeric_stats();
+        self.sample = Some(sample);
         self.source = Some(dataset.clone());
         self.z = settings.z_value();
         self.overhead_units = settings.seconds_to_units(self.config.per_query_overhead_s);
@@ -241,6 +249,7 @@ impl SystemAdapter for StratifiedAdapter {
         run.set_row_cost(cost);
         run.set_match_cost(self.config.match_cost);
         run.set_startup_units(self.overhead_units);
+        run.set_workers(self.workers);
         Box::new(StratifiedHandle { run })
     }
 }

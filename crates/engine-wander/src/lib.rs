@@ -90,6 +90,8 @@ pub struct WanderAdapter {
     z: f64,
     report_interval_units: u64,
     prep: PrepStats,
+    /// Scan worker-pool size, taken from the settings at prepare time.
+    workers: usize,
 }
 
 impl WanderAdapter {
@@ -102,6 +104,7 @@ impl WanderAdapter {
             z: 1.96,
             report_interval_units: 350_000,
             prep: PrepStats::default(),
+            workers: 1,
         }
     }
 
@@ -122,6 +125,7 @@ impl SystemAdapter for WanderAdapter {
     }
 
     fn prepare(&mut self, dataset: &Dataset, settings: &Settings) -> Result<PrepStats, CoreError> {
+        self.workers = settings.effective_workers();
         if let Some(existing) = &self.dataset {
             if same_dataset(existing, dataset) {
                 self.z = settings.z_value();
@@ -135,6 +139,9 @@ impl SystemAdapter for WanderAdapter {
             Dataset::Denormalized(t) => t.num_rows(),
             Dataset::Star(s) => s.total_rows(),
         };
+        // Column min/max stats power the planner's dense bucketed binning;
+        // warming them here keeps the O(rows) scan out of submit().
+        dataset.warm_numeric_stats();
         let mut order: Vec<u32> = (0..fact_rows as u32).collect();
         let mut rng = StdRng::seed_from_u64(settings.seed ^ 0x0bad_5eed);
         order.shuffle(&mut rng);
@@ -172,6 +179,7 @@ impl SystemAdapter for WanderAdapter {
             );
             run.set_row_cost(cost);
             run.set_match_cost(self.config.walk_match_cost);
+            run.set_workers(self.workers);
             Box::new(WanderHandle {
                 run,
                 consumed: 0,
@@ -181,6 +189,7 @@ impl SystemAdapter for WanderAdapter {
             let cost = self.config.blocking_row_cost(&plan);
             let mut run = ChunkedRun::from_plan(plan, None, SnapshotMode::Exact);
             run.set_row_cost(cost);
+            run.set_workers(self.workers);
             Box::new(BlockingHandle { run })
         }
     }

@@ -45,6 +45,11 @@ pub(crate) trait RowSet: Copy {
     fn len(&self) -> usize;
     /// The fact row at morsel position `i`.
     fn row(&self, i: usize) -> usize;
+    /// Start row of a contiguous natural-order range, when this is one —
+    /// kernels then swap gather loops for bounds-check-free slice walks.
+    fn base(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Natural-order rows `base..base + len`.
@@ -63,6 +68,11 @@ impl RowSet for Natural {
     #[inline(always)]
     fn row(&self, i: usize) -> usize {
         self.base + i
+    }
+
+    #[inline(always)]
+    fn base(&self) -> Option<usize> {
+        Some(self.base)
     }
 }
 
@@ -113,6 +123,9 @@ enum BoundDim<'a> {
         col: BoundColumn<'a>,
         width: f64,
         anchor: f64,
+        /// `(lo, len)` of the bounded bucket space when the dimension was
+        /// lowered to dense arithmetic slots.
+        dense: Option<(i64, u32)>,
     },
 }
 
@@ -149,10 +162,16 @@ impl CompiledPlan {
                 .iter()
                 .map(|d| match d {
                     PlannedDim::Nominal { col, .. } => BoundDim::Nominal { col: col.bind() },
-                    PlannedDim::Width { col, width, anchor } => BoundDim::Width {
+                    PlannedDim::Width {
+                        col,
+                        width,
+                        anchor,
+                        dense,
+                    } => BoundDim::Width {
                         col: col.bind(),
                         width: *width,
                         anchor: *anchor,
+                        dense: dense.map(|d| (d.lo, d.len as u32)),
                     },
                 })
                 .collect(),
@@ -264,40 +283,123 @@ fn dense_slots<R: RowSet>(dims: &[BoundDim<'_>], rows: R, slots: &mut [u32], val
     mask_tail(valid, n);
     let mut stride = 1u32;
     for (di, dim) in dims.iter().enumerate() {
-        let BoundDim::Nominal { col } = dim else {
-            unreachable!("dense path only planned for all-nominal binnings");
-        };
-        match (col.data, col.fk, col.validity) {
-            (ColumnSlice::Codes(d, dict), None, None) => {
-                if di == 0 {
-                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                        *slot = d[rows.row(i)];
-                    }
-                } else {
-                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                        *slot += d[rows.row(i)] * stride;
-                    }
-                }
-                stride *= dict.len().max(1) as u32;
-            }
-            _ => {
-                let mut dict_len = 0u32;
-                for i in 0..n {
-                    match col.code(rows.row(i)) {
-                        Some(code) => {
+        match dim {
+            BoundDim::Nominal { col } => match (col.data, col.fk, col.validity) {
+                (ColumnSlice::Codes(d, dict), None, None) => {
+                    match rows.base() {
+                        Some(base) => {
+                            let src = &d[base..base + n];
                             if di == 0 {
-                                slots[i] = code;
+                                for (slot, &c) in slots.iter_mut().zip(src) {
+                                    *slot = c;
+                                }
                             } else {
-                                slots[i] += code * stride;
+                                for (slot, &c) in slots.iter_mut().zip(src) {
+                                    *slot += c * stride;
+                                }
                             }
                         }
-                        None => valid[i / 64] &= !(1u64 << (i % 64)),
+                        None => {
+                            if di == 0 {
+                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                                    *slot = d[rows.row(i)];
+                                }
+                            } else {
+                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                                    *slot += d[rows.row(i)] * stride;
+                                }
+                            }
+                        }
+                    }
+                    stride *= dict.len().max(1) as u32;
+                }
+                _ => {
+                    let mut dict_len = 0u32;
+                    for i in 0..n {
+                        match col.code(rows.row(i)) {
+                            Some(code) => {
+                                if di == 0 {
+                                    slots[i] = code;
+                                } else {
+                                    slots[i] += code * stride;
+                                }
+                            }
+                            None => valid[i / 64] &= !(1u64 << (i % 64)),
+                        }
+                    }
+                    if let ColumnSlice::Codes(_, dict) = col.data {
+                        dict_len = dict.len().max(1) as u32;
+                    }
+                    stride *= dict_len.max(1);
+                }
+            },
+            BoundDim::Width {
+                col,
+                width,
+                anchor,
+                dense,
+            } => {
+                let (lo, len) = dense.expect("dense path requires bounded bucket space");
+                // Arithmetic slotting: `floor((v−anchor)/width) − lo`,
+                // clamped into the bounded space (a no-op when stats are
+                // exact; it only guards slot-array bounds). The floor is
+                // computed as truncate-and-adjust — identical to
+                // `f64::floor` for every in-bounds value but free of the
+                // libm call baseline x86-64 lowers `floor()` to, which
+                // would otherwise dominate this loop. `lo` round-trips
+                // through f64 exactly, so the slot decodes to the same
+                // bucket index the hashed path computes, bit for bit.
+                let lo_f = lo as f64;
+                let top = (len - 1) as f64;
+                let slot_of = move |v: f64| -> u32 {
+                    let q = (v - anchor) / width;
+                    let t = q as i64 as f64; // trunc(q), exact in-bounds
+                    let fl = if t > q { t - 1.0 } else { t };
+                    (fl - lo_f).clamp(0.0, top) as u32
+                };
+                match (col.data, col.fk, col.validity) {
+                    // Fast path: direct float column, fully valid.
+                    (ColumnSlice::F64(d), None, None) => match rows.base() {
+                        Some(base) => {
+                            let src = &d[base..base + n];
+                            if di == 0 {
+                                for (slot, &v) in slots.iter_mut().zip(src) {
+                                    *slot = slot_of(v);
+                                }
+                            } else {
+                                for (slot, &v) in slots.iter_mut().zip(src) {
+                                    *slot += slot_of(v) * stride;
+                                }
+                            }
+                        }
+                        None => {
+                            if di == 0 {
+                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                                    *slot = slot_of(d[rows.row(i)]);
+                                }
+                            } else {
+                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                                    *slot += slot_of(d[rows.row(i)]) * stride;
+                                }
+                            }
+                        }
+                    },
+                    _ => {
+                        for i in 0..n {
+                            match col.numeric(rows.row(i)) {
+                                Some(v) => {
+                                    if di == 0 {
+                                        slots[i] = slot_of(v);
+                                    } else {
+                                        slots[i] += slot_of(v) * stride;
+                                    }
+                                }
+                                None => valid[i / 64] &= !(1u64 << (i % 64)),
+                            }
+                        }
                     }
                 }
-                if let ColumnSlice::Codes(_, dict) = col.data {
-                    dict_len = dict.len().max(1) as u32;
-                }
-                stride *= dict_len.max(1);
+                stride *= len.max(1);
             }
         }
     }
@@ -326,7 +428,9 @@ fn sparse_keys<R: RowSet>(
                     }
                 }
             }
-            BoundDim::Width { col, width, anchor } => match (col.data, col.fk, col.validity) {
+            BoundDim::Width {
+                col, width, anchor, ..
+            } => match (col.data, col.fk, col.validity) {
                 (ColumnSlice::F64(d), None, None) => {
                     for (i, o) in out.iter_mut().enumerate().take(n) {
                         *o = ((d[rows.row(i)] - anchor) / width).floor() as i64;
@@ -354,13 +458,23 @@ enum CoordKind {
     Bucket,
 }
 
+/// Slot-decode metadata of one dense binning dimension: its bounded size
+/// and how a slot coordinate maps back to a [`BinCoord`].
+#[derive(Debug, Clone, Copy)]
+struct DenseDim {
+    /// Size of this dimension's bin space (`slot = c0 + c1 · len0`).
+    len: usize,
+    /// `None` = nominal (coordinate is a dictionary code); `Some(lo)` =
+    /// bucketed (coordinate `c` decodes to bucket `lo + c`).
+    bucket_lo: Option<i64>,
+}
+
 enum Store {
-    /// Flat-array accumulation over a bounded nominal bin space.
+    /// Flat-array accumulation over a bounded bin space (nominal
+    /// dictionaries and/or statistics-bounded bucketings).
     Dense {
-        /// Binning arity (1 or 2).
-        arity: usize,
-        /// Dictionary length of dimension 0 (slot = `c0 + c1 * len0`).
-        len0: usize,
+        /// Per-dimension slot decode metadata (1 or 2 entries).
+        dims: Vec<DenseDim>,
         counts: Vec<u64>,
         /// `space * nmeasures` measure accumulators, slot-major.
         measures: Vec<MeasureAcc>,
@@ -407,11 +521,23 @@ impl BatchAcc {
         let nmeasures = aggs.len();
         let store = match plan.acc_mode() {
             AccMode::Dense(space) => Store::Dense {
-                arity: plan.dims.len(),
-                len0: match &plan.dims[0] {
-                    PlannedDim::Nominal { dict_len, .. } => (*dict_len).max(1),
-                    PlannedDim::Width { .. } => unreachable!("dense requires nominal dims"),
-                },
+                dims: plan
+                    .dims
+                    .iter()
+                    .map(|d| match d {
+                        PlannedDim::Nominal { dict_len, .. } => DenseDim {
+                            len: (*dict_len).max(1),
+                            bucket_lo: None,
+                        },
+                        PlannedDim::Width { dense, .. } => {
+                            let dense = dense.expect("dense mode requires bounded bucket space");
+                            DenseDim {
+                                len: dense.len,
+                                bucket_lo: Some(dense.lo),
+                            }
+                        }
+                    })
+                    .collect(),
                 counts: vec![0; space],
                 measures: vec![MeasureAcc::new(); space * nmeasures],
                 touched: Vec::new(),
@@ -470,6 +596,7 @@ impl BatchAcc {
                 ..
             } => {
                 dense_slots(&bound.dims, rows, &mut self.slots, &mut valid);
+                // Counts pass.
                 for w in 0..WORDS {
                     let mut bits = fmask[w] & valid[w];
                     while bits != 0 {
@@ -480,11 +607,36 @@ impl BatchAcc {
                             touched.push(slot as u32);
                         }
                         counts[slot] += 1;
-                        let row = rows.row(i);
-                        for (m, col) in bound.measures.iter().enumerate() {
-                            if let Some(col) = col {
-                                if let Some(v) = col.numeric(row) {
-                                    measures[slot * self.nmeasures + m].update(v);
+                    }
+                }
+                // One pass per measure column, so the column-type dispatch
+                // runs once per morsel instead of once per row. Per (bin,
+                // measure) the update sequence stays exactly row order.
+                let nmeasures = self.nmeasures;
+                for (m, col) in bound.measures.iter().enumerate() {
+                    let Some(col) = col else { continue };
+                    match (col.data, col.fk, col.validity) {
+                        // Fast path: direct float column, fully valid.
+                        (ColumnSlice::F64(d), None, None) => {
+                            for w in 0..WORDS {
+                                let mut bits = fmask[w] & valid[w];
+                                while bits != 0 {
+                                    let i = w * 64 + bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    measures[self.slots[i] as usize * nmeasures + m]
+                                        .update(d[rows.row(i)]);
+                                }
+                            }
+                        }
+                        _ => {
+                            for w in 0..WORDS {
+                                let mut bits = fmask[w] & valid[w];
+                                while bits != 0 {
+                                    let i = w * 64 + bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    if let Some(v) = col.numeric(rows.row(i)) {
+                                        measures[self.slots[i] as usize * nmeasures + m].update(v);
+                                    }
                                 }
                             }
                         }
@@ -544,22 +696,24 @@ impl BatchAcc {
         let mut bins: FxHashMap<BinKey, BinAcc> = FxHashMap::default();
         match &self.store {
             Store::Dense {
-                arity,
-                len0,
+                dims,
                 counts,
                 measures,
                 touched,
             } => {
-                let two_d = *arity == 2;
+                let decode = |dim: &DenseDim, c: usize| match dim.bucket_lo {
+                    None => BinCoord::Cat(c as u32),
+                    Some(lo) => BinCoord::Bucket(lo + c as i64),
+                };
                 for &slot in touched {
                     let slot = slot as usize;
-                    let key = if two_d {
+                    let key = if dims.len() == 2 {
                         BinKey::d2(
-                            BinCoord::Cat((slot % len0) as u32),
-                            BinCoord::Cat((slot / len0) as u32),
+                            decode(&dims[0], slot % dims[0].len),
+                            decode(&dims[1], slot / dims[0].len),
                         )
                     } else {
-                        BinKey::d1(BinCoord::Cat(slot as u32))
+                        BinKey::d1(decode(&dims[0], slot))
                     };
                     bins.insert(
                         key,
@@ -586,5 +740,91 @@ impl BatchAcc {
             }
         }
         GroupedAcc::from_parts(self.aggs.clone(), bins, self.rows_seen, self.rows_matched)
+    }
+
+    /// Merges another accumulator for the same plan into this one.
+    ///
+    /// This is the partial-merge step of the morsel dispatcher: chunk
+    /// partials are folded into the base accumulator *in chunk order*, so
+    /// the floating-point merge sequence per bin is fixed by the chunk
+    /// partition alone — never by worker count or scheduling.
+    pub fn merge_from(&mut self, other: &BatchAcc) {
+        debug_assert_eq!(self.aggs, other.aggs);
+        self.rows_seen += other.rows_seen;
+        self.rows_matched += other.rows_matched;
+        match (&mut self.store, &other.store) {
+            (
+                Store::Dense {
+                    counts,
+                    measures,
+                    touched,
+                    ..
+                },
+                Store::Dense {
+                    counts: ocounts,
+                    measures: omeasures,
+                    touched: otouched,
+                    ..
+                },
+            ) => {
+                for &slot in otouched {
+                    let slot = slot as usize;
+                    if counts[slot] == 0 {
+                        touched.push(slot as u32);
+                    }
+                    counts[slot] += ocounts[slot];
+                    for m in 0..self.nmeasures {
+                        measures[slot * self.nmeasures + m]
+                            .merge(&omeasures[slot * self.nmeasures + m]);
+                    }
+                }
+            }
+            (Store::Sparse { index, accs, .. }, Store::Sparse { accs: oaccs, .. }) => {
+                for (key, oacc) in oaccs {
+                    match index.get(key) {
+                        Some(&slot) => {
+                            let acc = &mut accs[slot as usize].1;
+                            acc.count += oacc.count;
+                            for (m, o) in acc.measures.iter_mut().zip(&oacc.measures) {
+                                m.merge(o);
+                            }
+                        }
+                        None => {
+                            index.insert(*key, accs.len() as u32);
+                            accs.push((*key, oacc.clone()));
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("partials of one plan share an accumulation mode"),
+        }
+    }
+
+    /// Clears the accumulator for reuse (the dispatcher's partial pool),
+    /// in O(populated bins) rather than O(bin space).
+    pub fn reset(&mut self) {
+        self.rows_seen = 0;
+        self.rows_matched = 0;
+        match &mut self.store {
+            Store::Dense {
+                counts,
+                measures,
+                touched,
+                ..
+            } => {
+                for &slot in touched.iter() {
+                    let slot = slot as usize;
+                    counts[slot] = 0;
+                    for m in 0..self.nmeasures {
+                        measures[slot * self.nmeasures + m] = MeasureAcc::new();
+                    }
+                }
+                touched.clear();
+            }
+            Store::Sparse { index, accs, .. } => {
+                index.clear();
+                accs.clear();
+            }
+        }
     }
 }

@@ -3,12 +3,18 @@
 //! A [`ChunkedRun`] compiles its query into an owned [`CompiledPlan`]
 //! **once** at construction and then advances through the data in
 //! [`crate::batch::MORSEL`]-sized batches, evaluating filters into bitmasks,
-//! computing bin slots per batch, and accumulating matches in bulk. The
+//! computing bin slots per batch, and accumulating matches in bulk.
+//! Accumulation runs through the [`crate::dispatch::MorselDispatcher`]:
+//! fixed [`crate::dispatch::CHUNK_ROWS`]-sized chunks, each with its own
+//! accumulator, fanned out over a scoped worker pool when
+//! [`ChunkedRun::set_workers`] grants more than one worker and merged back
+//! in chunk order so results are bit-identical for every worker count. The
 //! scalar reference path ([`execute_exact_scalar`]) retains the original
-//! row-at-a-time semantics for differential testing.
+//! row-at-a-time evaluation semantics (folded over the same chunk grid) for
+//! differential testing.
 
 use crate::aggregate::GroupedAcc;
-use crate::batch::{BatchAcc, Gather, Natural, MORSEL};
+use crate::dispatch::{MorselDispatcher, CHUNK_ROWS};
 use crate::plan::CompiledPlan;
 use crate::resolve::ResolvedQuery;
 use idebench_core::{AggResult, CoreError, Query};
@@ -50,8 +56,8 @@ pub struct ChunkedRun {
     plan: CompiledPlan,
     /// Row visit order; `None` = natural order 0..n.
     order: Option<Arc<Vec<u32>>>,
-    /// Accumulated grouped state (vectorized).
-    acc: BatchAcc,
+    /// Chunk-partitioned accumulation state + worker pool.
+    dispatcher: MorselDispatcher,
     cursor: usize,
     num_rows: usize,
     row_cost: f64,
@@ -97,11 +103,11 @@ impl ChunkedRun {
         if let Some(o) = &order {
             debug_assert_eq!(o.len(), num_rows, "order must cover every row");
         }
-        let acc = BatchAcc::for_plan(&plan);
+        let dispatcher = MorselDispatcher::new(&plan);
         ChunkedRun {
             plan,
             order,
-            acc,
+            dispatcher,
             cursor: 0,
             num_rows,
             row_cost,
@@ -130,6 +136,18 @@ impl ChunkedRun {
     pub fn set_startup_units(&mut self, units: u64) {
         self.startup_units = units;
         self.startup_remaining = units;
+    }
+
+    /// Sets the scan's worker-pool size (clamped to ≥ 1; `1` keeps the
+    /// sequential path). Thanks to the dispatcher's fixed chunk grid and
+    /// in-order partial merge, the result is bit-identical for every value.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.dispatcher.set_workers(workers);
+    }
+
+    /// The scan's worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.dispatcher.workers()
     }
 
     /// Per-row work-unit cost.
@@ -164,11 +182,27 @@ impl ChunkedRun {
     /// Processes rows until `budget_units` is exhausted or the scan ends.
     /// Returns the units actually consumed.
     ///
+    /// # Budget accounting
+    ///
     /// Accounting is *monotone and exactly budget-capped*: fractional work
     /// (and the matched-row surcharge, which is only known after a row is
     /// processed) is carried across calls — a call never reports more than
     /// `budget_units`, and the total reported over a scan equals the total
     /// work rounded up, no matter how the budget is sliced.
+    ///
+    /// # Parallel dispatch
+    ///
+    /// The budget governs *how many rows* this call may process; the
+    /// dispatcher decides *who processes them*. Each iteration sizes a span
+    /// conservatively (so even all-matching rows fit the remaining room —
+    /// one whole budget grant thereby splits across all workers at once),
+    /// hands it to the [`MorselDispatcher`], folds the actual surcharge
+    /// into `row_work`, and re-fits. A grant too small for even one
+    /// worst-case row still takes a single row, so *any* positive budget
+    /// makes forward progress — no starvation at tiny quanta — with the
+    /// overdraw carried (never forgiven) into later calls' billing. Grants
+    /// smaller than one chunk simply stay on the sequential in-process
+    /// path; results are bit-identical either way.
     pub fn advance(&mut self, budget_units: u64) -> u64 {
         let mut consumed = 0u64;
         let mut budget = budget_units;
@@ -190,26 +224,20 @@ impl ChunkedRun {
         // and is still billed below once the scan itself is complete.
         let cap = self.row_billed as f64 + budget as f64;
         let worst_row = self.row_cost + self.match_cost;
-        let bound = self.plan.bind();
         while self.cursor < self.num_rows && self.row_work + self.row_cost <= cap + EPS {
             let room = cap + EPS - self.row_work;
-            // Size the morsel so even all-matching rows stay within budget;
+            // Size the span so even all-matching rows stay within budget;
             // when not even one worst-case row fits, take a single row (the
             // surcharge overdraw is carried to the next call).
             let fit = (room / worst_row) as usize;
-            let take = MORSEL.min(self.num_rows - self.cursor).min(fit.max(1));
-            let matched = match &self.order {
-                Some(order) => self
-                    .acc
-                    .process_morsel(&bound, Gather(&order[self.cursor..self.cursor + take])),
-                None => self.acc.process_morsel(
-                    &bound,
-                    Natural {
-                        base: self.cursor,
-                        len: take,
-                    },
-                ),
-            };
+            let take = (self.num_rows - self.cursor).min(fit.max(1));
+            let matched = self.dispatcher.scan_span(
+                &self.plan,
+                self.order.as_ref().map(|o| o.as_slice()),
+                self.cursor,
+                take,
+                self.num_rows,
+            );
             self.row_work += take as f64 * self.row_cost + matched as f64 * self.match_cost;
             self.cursor += take;
         }
@@ -230,7 +258,7 @@ impl ChunkedRun {
         match self.mode {
             SnapshotMode::Exact => {
                 if self.is_done() {
-                    Some(self.acc.to_grouped().finish_exact())
+                    Some(self.dispatcher.grouped().finish_exact())
                 } else {
                     None
                 }
@@ -240,18 +268,18 @@ impl ChunkedRun {
                     None
                 } else if self.is_done() && population as usize == self.num_rows {
                     // A completed full-population scan is exact.
-                    Some(self.acc.to_grouped().finish_exact())
+                    Some(self.dispatcher.grouped().finish_exact())
                 } else {
-                    Some(self.acc.to_grouped().finish_estimate(population, z))
+                    Some(self.dispatcher.grouped().finish_estimate(population, z))
                 }
             }
             SnapshotMode::EstimateAtEnd { z, population } => {
                 if !self.is_done() {
                     None
                 } else if population as usize == self.num_rows {
-                    Some(self.acc.to_grouped().finish_exact())
+                    Some(self.dispatcher.grouped().finish_exact())
                 } else {
-                    Some(self.acc.to_grouped().finish_estimate(population, z))
+                    Some(self.dispatcher.grouped().finish_estimate(population, z))
                 }
             }
         }
@@ -260,7 +288,7 @@ impl ChunkedRun {
     /// The accumulated state, materialized into the canonical grouped
     /// representation (engines use this for result reuse).
     pub fn accumulator(&self) -> GroupedAcc {
-        self.acc.to_grouped()
+        self.dispatcher.grouped()
     }
 
     /// The query this run executes.
@@ -274,43 +302,76 @@ impl ChunkedRun {
     }
 }
 
-/// Runs a query to completion on the vectorized path, returning the exact
-/// result.
+/// Runs a query to completion on the vectorized single-worker path,
+/// returning the exact result.
 ///
 /// This is both the ground-truth oracle and the execution path of the
-/// blocking exact engine.
+/// blocking exact engine. [`execute_exact_parallel`] produces bit-identical
+/// results on more workers.
 pub fn execute_exact(dataset: &Dataset, query: &Query) -> Result<AggResult, CoreError> {
-    let plan = CompiledPlan::compile(dataset, query)?;
-    let mut acc = BatchAcc::for_plan(&plan);
-    let bound = plan.bind();
-    let num_rows = plan.num_rows();
-    let mut cursor = 0;
-    while cursor < num_rows {
-        let take = MORSEL.min(num_rows - cursor);
-        acc.process_morsel(
-            &bound,
-            Natural {
-                base: cursor,
-                len: take,
-            },
-        );
-        cursor += take;
+    execute_exact_parallel(dataset, query, 1)
+}
+
+/// Runs a query to completion on the vectorized path with the given worker
+/// count, returning the exact result.
+///
+/// Results are bit-identical to [`execute_exact`] and
+/// [`execute_exact_scalar`] for every `workers` value: the dispatcher's
+/// chunk grid and in-order partial merge fix the floating-point
+/// accumulation sequence independently of scheduling.
+pub fn execute_exact_parallel(
+    dataset: &Dataset,
+    query: &Query,
+    workers: usize,
+) -> Result<AggResult, CoreError> {
+    let mut run = ChunkedRun::new(dataset.clone(), query.clone(), SnapshotMode::Exact)?;
+    run.set_workers(workers);
+    while !run.is_done() {
+        run.advance(u64::MAX);
     }
-    Ok(acc.to_grouped().finish_exact())
+    Ok(run.snapshot().expect("completed exact scan has a result"))
 }
 
 /// Runs a query to completion on the retained row-at-a-time reference path.
 ///
 /// Kept (rather than deleted with the old executor) so differential tests
 /// and benchmarks can pin the vectorized path against the original
-/// semantics bit for bit.
+/// semantics bit for bit. Evaluation (filter, binning, measure updates) is
+/// strictly row-at-a-time; the per-bin accumulators fold over the same
+/// [`CHUNK_ROWS`] grid as the dispatcher, so the floating-point merge
+/// sequence — and therefore every output bit — matches the vectorized path
+/// at any worker count.
 pub fn execute_exact_scalar(dataset: &Dataset, query: &Query) -> Result<AggResult, CoreError> {
+    execute_exact_scalar_with_order(dataset, query, None)
+}
+
+/// [`execute_exact_scalar`] over an explicit visit order (position `i`
+/// processes row `order[i]`), for differential tests against ordered runs.
+///
+/// This is the one place the scalar reference's chunk-folding lives — the
+/// grid must match the dispatcher's, or bit-identity differentials would
+/// compare against a stale fold.
+pub fn execute_exact_scalar_with_order(
+    dataset: &Dataset,
+    query: &Query,
+    order: Option<&[u32]>,
+) -> Result<AggResult, CoreError> {
     let resolved = ResolvedQuery::new(dataset, query)?;
-    let mut acc = GroupedAcc::for_query(&resolved, &query.aggregates);
-    for row in 0..resolved.num_rows {
-        acc.process_row(&resolved, row);
+    if let Some(o) = order {
+        assert_eq!(o.len(), resolved.num_rows, "order must cover every row");
     }
-    Ok(acc.finish_exact())
+    let mut total = GroupedAcc::for_query(&resolved, &query.aggregates);
+    let mut chunk = GroupedAcc::for_query(&resolved, &query.aggregates);
+    for i in 0..resolved.num_rows {
+        if i > 0 && i % CHUNK_ROWS == 0 {
+            total.merge(&chunk);
+            chunk = GroupedAcc::for_query(&resolved, &query.aggregates);
+        }
+        let row = order.map_or(i, |o| o[i] as usize);
+        chunk.process_row(&resolved, row);
+    }
+    total.merge(&chunk);
+    Ok(total.finish_exact())
 }
 
 #[cfg(test)]
@@ -661,6 +722,137 @@ mod tests {
         assert_eq!(snap.bins.len(), 5); // bins [0,10) .. [40,50)
         assert_eq!(snap, execute_exact(&ds, &q).unwrap());
         assert_eq!(run.accumulator().rows_matched, 50);
+    }
+
+    /// Rows with awkward (non-exactly-summable) float measures spanning
+    /// several dispatch chunks — the data that would expose any
+    /// order-dependent floating-point accumulation.
+    fn float_dataset(n: usize) -> Dataset {
+        let mut b = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("carrier", DataType::Nominal),
+                ("dep_delay", DataType::Float),
+            ],
+        );
+        for i in 0..n {
+            let c = match i % 7 {
+                0 | 1 => "AA",
+                2..=4 => "DL",
+                _ => "UA",
+            };
+            // 0.1 steps are not exactly representable, so sums genuinely
+            // depend on the accumulation association.
+            b.push_row(&[c.into(), ((i % 1013) as f64 * 0.1 - 17.3).into()])
+                .unwrap();
+        }
+        Dataset::Denormalized(Arc::new(b.finish()))
+    }
+
+    fn float_query() -> Query {
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![
+                BinDef::Nominal {
+                    dimension: "carrier".into(),
+                },
+                BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 25.0,
+                    anchor: 0.0,
+                },
+            ],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "dep_delay"),
+                AggregateSpec::over(AggFunc::Sum, "dep_delay"),
+            ],
+        );
+        Query::for_viz(&spec, None)
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_scalar_across_worker_counts() {
+        // > 3 chunks, so real cross-chunk merging happens.
+        let ds = float_dataset(3 * CHUNK_ROWS + 517);
+        let q = float_query();
+        let scalar = execute_exact_scalar(&ds, &q).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let parallel = execute_exact_parallel(&ds, &q, workers).unwrap();
+            assert_eq!(parallel, scalar, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_budget_sliced_results() {
+        let ds = float_dataset(2 * CHUNK_ROWS + 99);
+        let q = float_query();
+        let mut reference: Option<AggResult> = None;
+        for workers in [1, 4] {
+            let mut run = ChunkedRun::new(ds.clone(), q.clone(), SnapshotMode::Exact).unwrap();
+            run.set_workers(workers);
+            // Odd slicing: spans cross chunk boundaries at uneven offsets.
+            while !run.is_done() {
+                run.advance(10_007);
+            }
+            let snap = run.snapshot().unwrap();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(&snap, r, "workers = {workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_grants_progress_under_parallel_dispatcher() {
+        // Regression: a budget grant smaller than one morsel (even smaller
+        // than one worst-case row) must still make forward progress when
+        // the run is configured for parallel dispatch — no starvation or
+        // livelock at tiny quanta.
+        let ds = float_dataset(CHUNK_ROWS + 700);
+        let mut run = ChunkedRun::new(ds.clone(), float_query(), SnapshotMode::Exact).unwrap();
+        run.set_workers(8);
+        run.set_row_cost(1.0);
+        run.set_match_cost(5.0); // worst-case row (6.0) far exceeds the grant
+        let mut stalls = 0;
+        let mut calls = 0u64;
+        while !run.is_done() {
+            let before = run.rows_done();
+            let used = run.advance(2);
+            assert!(used <= 2, "billing respects the tiny budget");
+            calls += 1;
+            if run.rows_done() == before {
+                stalls += 1;
+                assert!(stalls < 4, "advance must keep making row progress");
+            } else {
+                stalls = 0;
+            }
+            assert!(calls < 20 * (CHUNK_ROWS as u64 + 700), "livelocked");
+        }
+        assert_eq!(
+            run.snapshot().unwrap(),
+            execute_exact(&ds, &float_query()).unwrap(),
+            "starved-budget scan still produces the exact result"
+        );
+    }
+
+    #[test]
+    fn dense_bucketed_two_d_matches_scalar() {
+        // carrier × bucketed dep_delay lowers to the dense store (bounded
+        // bucket space) and must agree with the hashed/scalar semantics.
+        let ds = float_dataset(5_000);
+        let q = float_query();
+        let plan = CompiledPlan::compile(&ds, &q).unwrap();
+        assert!(
+            matches!(plan.acc_mode(), crate::plan::AccMode::Dense(_)),
+            "nominal × bounded-bucket binning should be dense, got {:?}",
+            plan.acc_mode()
+        );
+        assert_eq!(
+            execute_exact(&ds, &q).unwrap(),
+            execute_exact_scalar(&ds, &q).unwrap()
+        );
     }
 
     #[test]

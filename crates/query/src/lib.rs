@@ -9,24 +9,33 @@
 //! # Execution pipeline
 //!
 //! ```text
-//!   Query ──compile──▶ CompiledPlan ──bind──▶ morsel kernels ──▶ AggResult
-//!           (once per            (per advance:   filter → Mask
-//!            ChunkedRun)          index lookups)  bin   → slots/keys
-//!                                                 accumulate → dense/sparse
+//!   Query ──compile──▶ CompiledPlan ──chunks──▶ worker pool ──▶ AggResult
+//!           (once per         morsel dispatcher:    per worker+chunk:
+//!            ChunkedRun)      fixed CHUNK_ROWS      filter → Mask
+//!                             grid, partial per     bin    → slots/keys
+//!                             chunk, in-order       accumulate dense/sparse
+//!                             merge
 //! ```
 //!
 //! - [`plan`]: the **owned** [`CompiledPlan`] — column names resolved to
 //!   `(Arc<Table>, index)` handles (following star-schema foreign keys),
 //!   IN-lists lowered to dictionary membership tables, binning classified as
-//!   dense (bounded nominal bin space) or sparse (unbounded buckets). Built
-//!   exactly once per run; [`plan_compilations`] lets tests pin that.
+//!   dense (bounded bin space: nominal dictionaries *and* statistics-bounded
+//!   fixed-width bucketings) or sparse (genuinely unbounded key spaces).
+//!   Built exactly once per run; [`plan_compilations`] lets tests pin that.
 //! - [`batch`]: fixed-size morsel kernels (filter → bitmask, batched bin
 //!   slot computation, bulk accumulation) and the dense flat-array /
 //!   sparse hashed accumulators.
+//! - [`dispatch`]: the [`MorselDispatcher`] — partitions the scan into
+//!   fixed [`CHUNK_ROWS`]-sized chunks, fans them out over a
+//!   `std::thread::scope` worker pool with a per-chunk accumulator each,
+//!   and merges partials in chunk order, making results bit-identical for
+//!   every worker count.
 //! - [`executor`]: [`ChunkedRun`] — work-unit-budgeted morsel execution with
-//!   monotone, exactly-capped budget accounting — plus [`execute_exact`]
-//!   (vectorized one-shot) and [`execute_exact_scalar`] (the retained
-//!   row-at-a-time reference path used for differential testing).
+//!   monotone, exactly-capped budget accounting over the dispatcher — plus
+//!   [`execute_exact`] / [`execute_exact_parallel`] (vectorized one-shot)
+//!   and [`execute_exact_scalar`] (the retained row-at-a-time reference
+//!   path used for differential testing).
 //! - [`resolve`], [`filter`], [`binning`], [`aggregate`]: the scalar
 //!   reference implementations ([`ResolvedQuery`] and friends) plus the
 //!   canonical grouped accumulator ([`GroupedAcc`]) every path finishes
@@ -67,6 +76,7 @@
 pub mod aggregate;
 pub mod batch;
 pub mod binning;
+pub mod dispatch;
 pub mod executor;
 pub mod filter;
 pub mod ground_truth;
@@ -77,7 +87,11 @@ pub mod sql;
 pub use aggregate::{BinAcc, GroupedAcc, MeasureAcc};
 pub use batch::MORSEL;
 pub use binning::CompiledBinning;
-pub use executor::{execute_exact, execute_exact_scalar, ChunkedRun, SnapshotMode};
+pub use dispatch::{available_workers, MorselDispatcher, CHUNK_ROWS};
+pub use executor::{
+    execute_exact, execute_exact_parallel, execute_exact_scalar, execute_exact_scalar_with_order,
+    ChunkedRun, SnapshotMode,
+};
 pub use filter::CompiledFilter;
 pub use ground_truth::{enumerate_workload_queries, CachedGroundTruth};
 pub use plan::{plan_compilations, AccMode, CompiledPlan, PlannedColumn, DENSE_BIN_CAP};

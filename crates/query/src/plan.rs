@@ -5,8 +5,12 @@
 //! `(table, column-index)` handle (following star-schema foreign keys),
 //! filter predicates lowered to typed comparisons (IN-lists becoming dense
 //! dictionary membership tables), and binning classified as *dense*
-//! (bounded nominal bin space → flat-array accumulation) or *sparse*
-//! (unbounded bucket space → hash accumulation).
+//! (bounded bin space → flat-array accumulation) or *sparse* (unbounded →
+//! hash accumulation). A bin space is bounded when every dimension is —
+//! nominal dimensions by their dictionary, fixed-width bucketings by the
+//! column's cached min/max statistics (`slot = floor((v − anchor)/width) −
+//! lo`, clamped into `[0, len)`); only genuinely unbounded or oversized key
+//! spaces keep the hashed store.
 //!
 //! Unlike [`crate::resolve::ResolvedQuery`] — the borrow-based scalar
 //! reference path, recompiled wherever it is used — a `CompiledPlan` owns
@@ -22,8 +26,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Upper bound on the flat bin space of the dense accumulation path.
-/// Nominal binnings whose dictionary-size product exceeds this fall back to
-/// sparse (hashed) accumulation.
+/// Binnings whose bounded-bin-space product (dictionary sizes × reachable
+/// bucket counts) exceeds this fall back to sparse (hashed) accumulation.
 pub const DENSE_BIN_CAP: usize = 1 << 13;
 
 static PLAN_COMPILATIONS: AtomicU64 = AtomicU64::new(0);
@@ -257,16 +261,31 @@ impl PlannedFilter {
     }
 }
 
+/// Dense lowering of a fixed-width bucketing: column min/max statistics
+/// bound the reachable bucket indices to `[lo, lo + len)`, so the bucket
+/// becomes an arithmetic array slot (`slot = bucket − lo`, clamped into the
+/// bounded space) instead of a hash key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DenseWidth {
+    /// Bucket index of the column minimum (the slot-space origin).
+    pub lo: i64,
+    /// Number of reachable buckets (`hi − lo + 1`), `≤ DENSE_BIN_CAP`.
+    pub len: usize,
+}
+
 /// One planned binning dimension.
 #[derive(Debug, Clone)]
 pub(crate) enum PlannedDim {
     /// Nominal: bin = dictionary code; `dict_len` bounds the bin space.
     Nominal { col: PlannedColumn, dict_len: usize },
-    /// Fixed-width bucketing: bin = `floor((x - anchor) / width)`.
+    /// Fixed-width bucketing: bin = `floor((x - anchor) / width)`. `dense`
+    /// is the arithmetic slot lowering when column statistics bound the
+    /// bucket space; `None` leaves the dimension on the hashed path.
     Width {
         col: PlannedColumn,
         width: f64,
         anchor: f64,
+        dense: Option<DenseWidth>,
     },
 }
 
@@ -274,6 +293,14 @@ impl PlannedDim {
     fn col(&self) -> &PlannedColumn {
         match self {
             PlannedDim::Nominal { col, .. } | PlannedDim::Width { col, .. } => col,
+        }
+    }
+
+    /// Size of the dimension's bounded bin space, when it has one.
+    fn dense_len(&self) -> Option<usize> {
+        match self {
+            PlannedDim::Nominal { dict_len, .. } => Some((*dict_len).max(1)),
+            PlannedDim::Width { dense, .. } => dense.map(|d| d.len),
         }
     }
 }
@@ -387,10 +414,13 @@ impl CompiledPlan {
                         "non-positive bin width {width} on {dimension}"
                     )));
                 }
+                let col = PlannedColumn::resolve(dataset, dimension)?;
+                let dense = Self::dense_width(&col, *width, *anchor);
                 PlannedDim::Width {
-                    col: PlannedColumn::resolve(dataset, dimension)?,
+                    col,
                     width: *width,
                     anchor: *anchor,
+                    dense,
                 }
             }
             BinDef::Count { dimension, .. } => {
@@ -401,21 +431,51 @@ impl CompiledPlan {
         })
     }
 
-    /// Dense accumulation applies when every dimension is nominal and the
-    /// bin-space product is bounded; bucketed dimensions are unbounded and
-    /// force the hashed path.
+    /// Lowers a fixed-width bucketing to dense arithmetic slots when the
+    /// column's min/max statistics bound its reachable buckets to at most
+    /// [`DENSE_BIN_CAP`]. Columns without usable stats (empty, all-null, or
+    /// non-finite values) stay on the hashed path.
+    fn dense_width(col: &PlannedColumn, width: f64, anchor: f64) -> Option<DenseWidth> {
+        let (min, max) = col.column().numeric_min_max()?;
+        let lo = ((min - anchor) / width).floor();
+        let hi = ((max - anchor) / width).floor();
+        if !(lo.is_finite() && hi.is_finite()) {
+            return None;
+        }
+        // Reject oversized spans in f64 *before* any integer cast: the
+        // bucket indices themselves can exceed every integer range for
+        // pathological value/width combinations. `hi - lo` is exact for
+        // spans under the cap (both are integer-valued and close).
+        let span = hi - lo;
+        if !(0.0..DENSE_BIN_CAP as f64).contains(&span) {
+            return None;
+        }
+        // The slot kernel and bucket decode need `lo` to round-trip
+        // through i64 exactly; outside that range stay on the hashed path.
+        if lo < i64::MIN as f64 || hi >= i64::MAX as f64 {
+            return None;
+        }
+        Some(DenseWidth {
+            lo: lo as i64,
+            len: span as usize + 1,
+        })
+    }
+
+    /// Dense accumulation applies when every dimension has a bounded bin
+    /// space — a nominal dictionary, or a bucketed dimension whose column
+    /// statistics bound its reachable buckets — and the product of those
+    /// spaces stays under [`DENSE_BIN_CAP`]. Anything else (unbounded or
+    /// statistics-less buckets, oversized products) takes the hashed path.
     fn pick_acc_mode(dims: &[PlannedDim]) -> AccMode {
         let mut space = 1usize;
         for dim in dims {
-            match dim {
-                PlannedDim::Nominal { dict_len, .. } => {
-                    space = match space.checked_mul((*dict_len).max(1)) {
-                        Some(s) if s <= DENSE_BIN_CAP => s,
-                        _ => return AccMode::Sparse,
-                    };
-                }
-                PlannedDim::Width { .. } => return AccMode::Sparse,
-            }
+            let Some(len) = dim.dense_len() else {
+                return AccMode::Sparse;
+            };
+            space = match space.checked_mul(len) {
+                Some(s) if s <= DENSE_BIN_CAP => s,
+                _ => return AccMode::Sparse,
+            };
         }
         AccMode::Dense(space)
     }
@@ -552,24 +612,96 @@ mod tests {
         assert!((flat.width_units() - 3.0).abs() < 1e-12);
     }
 
-    #[test]
-    fn nominal_binning_is_dense_buckets_are_sparse() {
-        let plan = CompiledPlan::compile(&denorm(), &nominal_query()).unwrap();
-        assert_eq!(plan.acc_mode(), AccMode::Dense(2));
-
+    fn width_query(width: f64) -> Query {
         let spec = VizSpec::new(
             "v",
             "flights",
             vec![BinDef::Width {
                 dimension: "dep_delay".into(),
-                width: 10.0,
+                width,
                 anchor: 0.0,
             }],
             vec![AggregateSpec::count()],
         );
+        Query::for_viz(&spec, None)
+    }
+
+    #[test]
+    fn nominal_binning_is_dense() {
+        let plan = CompiledPlan::compile(&denorm(), &nominal_query()).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Dense(2));
+    }
+
+    #[test]
+    fn bounded_buckets_are_dense_unbounded_sparse() {
+        // dep_delay spans [5, 15]: width 10 reaches buckets {0, 1} → dense.
+        let plan = CompiledPlan::compile(&denorm(), &width_query(10.0)).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Dense(2));
+
+        // A width so fine the reachable bucket count blows past the cap
+        // keeps the hashed store.
+        let plan = CompiledPlan::compile(&denorm(), &width_query(1e-4)).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Sparse);
+    }
+
+    #[test]
+    fn extreme_value_ranges_stay_sparse_without_overflow() {
+        // Finite but astronomically spread values: bucket indices exceed
+        // every integer range. Planning must fall back to the hashed store
+        // instead of panicking on an integer-cast overflow.
+        let mut b = TableBuilder::with_fields("flights", &[("x", DataType::Float)]);
+        b.push_row(&[(-1e40).into()]).unwrap();
+        b.push_row(&[1e40.into()]).unwrap();
+        let ds = Dataset::Denormalized(Arc::new(b.finish()));
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Width {
+                dimension: "x".into(),
+                width: 1.0,
+                anchor: 0.0,
+            }],
+            vec![AggregateSpec::count()],
+        );
+        let plan = CompiledPlan::compile(&ds, &Query::for_viz(&spec, None)).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Sparse);
+    }
+
+    #[test]
+    fn dense_width_origin_offsets_negative_buckets() {
+        // Values in [5, 15] with width 2 → buckets 2..=7, origin lo = 2.
+        let q = width_query(2.0);
+        let plan = CompiledPlan::compile(&denorm(), &q).unwrap();
+        assert_eq!(plan.acc_mode(), AccMode::Dense(6));
+        match &plan.dims[0] {
+            PlannedDim::Width { dense, .. } => {
+                assert_eq!(*dense, Some(DenseWidth { lo: 2, len: 6 }));
+            }
+            other => panic!("expected width dim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_d_mixed_nominal_bucket_is_dense() {
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![
+                BinDef::Nominal {
+                    dimension: "carrier".into(),
+                },
+                BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 10.0,
+                    anchor: 0.0,
+                },
+            ],
+            vec![AggregateSpec::count()],
+        );
         let q = Query::for_viz(&spec, None);
         let plan = CompiledPlan::compile(&denorm(), &q).unwrap();
-        assert_eq!(plan.acc_mode(), AccMode::Sparse);
+        // 2 carriers × 2 reachable buckets.
+        assert_eq!(plan.acc_mode(), AccMode::Dense(4));
     }
 
     #[test]

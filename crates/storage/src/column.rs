@@ -30,10 +30,25 @@ pub enum ColumnSlice<'a> {
 ///
 /// `validity == None` means every row is valid (the common case for the
 /// flights dataset); otherwise a row is null when its bit is *unset*.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Columns also lazily cache numeric min/max statistics (see
+/// [`Column::numeric_min_max`]), which query planning uses to bound the
+/// bucket space of fixed-width binnings.
+#[derive(Debug, Clone)]
 pub struct Column {
     data: ColumnData,
     validity: Option<SelVec>,
+    /// Lazily-computed numeric (min, max) over valid rows; `None` inside
+    /// the cell when the column is empty, all-null, or contains non-finite
+    /// values.
+    stats: std::sync::OnceLock<Option<(f64, f64)>>,
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        // Stats are derived data; equality is payload + validity only.
+        self.data == other.data && self.validity == other.validity
+    }
 }
 
 impl Column {
@@ -42,6 +57,7 @@ impl Column {
         Column {
             data: ColumnData::Float(values),
             validity: None,
+            stats: std::sync::OnceLock::new(),
         }
     }
 
@@ -50,6 +66,7 @@ impl Column {
         Column {
             data: ColumnData::Int(values),
             validity: None,
+            stats: std::sync::OnceLock::new(),
         }
     }
 
@@ -59,6 +76,7 @@ impl Column {
         Column {
             data: ColumnData::Nominal(codes, dict),
             validity: None,
+            stats: std::sync::OnceLock::new(),
         }
     }
 
@@ -66,6 +84,7 @@ impl Column {
     pub fn with_validity(mut self, validity: SelVec) -> Self {
         assert_eq!(validity.len(), self.len(), "validity length mismatch");
         self.validity = Some(validity);
+        self.stats = std::sync::OnceLock::new(); // validity changes the stats
         self
     }
 
@@ -152,6 +171,33 @@ impl Column {
         }
     }
 
+    /// Numeric `(min, max)` over the column's valid rows, computed once and
+    /// cached (ints widened, nominal codes taken as their code value).
+    ///
+    /// Returns `None` when the column is empty, every row is null, or any
+    /// valid value is non-finite — callers use the bounds to size dense
+    /// bucket spaces, and a NaN/∞ row would make arithmetic slotting
+    /// disagree with the hashed reference path.
+    pub fn numeric_min_max(&self) -> Option<(f64, f64)> {
+        *self.stats.get_or_init(|| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut seen = false;
+            for i in 0..self.len() {
+                let Some(v) = self.numeric_at(i) else {
+                    continue;
+                };
+                if !v.is_finite() {
+                    return None;
+                }
+                min = min.min(v);
+                max = max.max(v);
+                seen = true;
+            }
+            seen.then_some((min, max))
+        })
+    }
+
     /// Materializes the subset of rows in `rows`, preserving order.
     pub fn take(&self, rows: &[usize]) -> Column {
         let data = match &self.data {
@@ -165,7 +211,11 @@ impl Column {
             .validity
             .as_ref()
             .map(|val| SelVec::from_bools(rows.len(), rows.iter().map(|&i| val.contains(i))));
-        Column { data, validity }
+        Column {
+            data,
+            validity,
+            stats: std::sync::OnceLock::new(),
+        }
     }
 
     /// Materializes the rows selected by `sel` (ascending order).
@@ -235,5 +285,40 @@ mod tests {
     fn int_widens_to_f64() {
         let c = Column::int(vec![7]);
         assert_eq!(c.numeric_at(0), Some(7.0));
+    }
+
+    #[test]
+    fn min_max_stats_cached_per_type() {
+        assert_eq!(
+            Column::float(vec![3.5, -1.0, 9.25]).numeric_min_max(),
+            Some((-1.0, 9.25))
+        );
+        assert_eq!(
+            Column::int(vec![4, -2, 10]).numeric_min_max(),
+            Some((-2.0, 10.0))
+        );
+        assert_eq!(
+            Column::nominal(vec![0, 2, 1], dict()).numeric_min_max(),
+            Some((0.0, 2.0))
+        );
+        assert_eq!(Column::float(vec![]).numeric_min_max(), None);
+    }
+
+    #[test]
+    fn min_max_skips_nulls_and_rejects_non_finite() {
+        let v = SelVec::from_bools(3, [false, true, true]);
+        let c = Column::float(vec![-999.0, 2.0, 5.0]).with_validity(v);
+        assert_eq!(c.numeric_min_max(), Some((2.0, 5.0)));
+
+        let all_null = Column::float(vec![1.0]).with_validity(SelVec::from_bools(1, [false]));
+        assert_eq!(all_null.numeric_min_max(), None);
+
+        assert_eq!(Column::float(vec![1.0, f64::NAN]).numeric_min_max(), None);
+        assert_eq!(Column::float(vec![f64::INFINITY]).numeric_min_max(), None);
+
+        // A null non-finite value does not poison the stats.
+        let v = SelVec::from_bools(2, [true, false]);
+        let c = Column::float(vec![1.0, f64::NAN]).with_validity(v);
+        assert_eq!(c.numeric_min_max(), Some((1.0, 1.0)));
     }
 }

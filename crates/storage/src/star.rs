@@ -173,6 +173,30 @@ impl Dataset {
             Dataset::Denormalized(_) => None,
         }
     }
+
+    /// Computes and caches numeric min/max statistics for every column
+    /// (see [`crate::Column::numeric_min_max`]).
+    ///
+    /// Engines call this during `prepare`, where load/preprocess cost is
+    /// already reported, so plan compilation never pays a lazy O(rows)
+    /// stats scan inside `submit` — a cost the work-unit accounting could
+    /// not otherwise see.
+    pub fn warm_numeric_stats(&self) {
+        let warm = |t: &Table| {
+            for col in t.columns() {
+                let _ = col.numeric_min_max();
+            }
+        };
+        match self {
+            Dataset::Denormalized(t) => warm(t),
+            Dataset::Star(s) => {
+                warm(s.fact());
+                for (_, dim) in s.dimensions() {
+                    warm(dim);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

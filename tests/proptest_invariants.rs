@@ -331,8 +331,8 @@ proptest! {
 
     /// The vectorized batch path (dense and sparse stores, natural and
     /// shuffled orders, arbitrary budget slicing, star and denormalized
-    /// datasets) produces bit-identical results to the retained scalar
-    /// reference path.
+    /// datasets) and the parallel morsel dispatcher (workers ∈ {2, 3, 8})
+    /// produce bit-identical results to the retained scalar reference path.
     #[test]
     fn vectorized_matches_scalar_differentially(
         seed in 0u64..25,
@@ -345,10 +345,13 @@ proptest! {
         shuffle in any::<bool>(),
         two_d in any::<bool>(),
         nominal in any::<bool>(),
+        workers_pick in 0usize..3,
     ) {
-        use idebench::query::execute_exact_scalar;
+        use idebench::query::{execute_exact_parallel, execute_exact_scalar};
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
+
+        let workers = [2usize, 3, 8][workers_pick];
 
         let table = idebench::datagen::flights::generate(rows, seed);
         let denorm = Dataset::Denormalized(Arc::new(table.clone()));
@@ -382,17 +385,12 @@ proptest! {
         let q = Query::for_viz(&spec, Some(arb_filter(which_filter, lo, hi)));
 
         // Bit-identical f64 accumulation requires the reference to visit
-        // rows in the same order as the run under test.
+        // rows in the same order as the run under test; the chunk-folded
+        // scalar reference lives in the query crate so the grid can never
+        // drift from the dispatcher's.
         let scalar_with_order = |ds: &Dataset, order: Option<&[u32]>| {
-            let resolved = idebench::query::ResolvedQuery::new(ds, &q)
-                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
-            let mut acc =
-                idebench::query::GroupedAcc::for_query(&resolved, &q.aggregates);
-            for i in 0..resolved.num_rows {
-                let row = order.map_or(i, |o| o[i] as usize);
-                acc.process_row(&resolved, row);
-            }
-            Ok::<_, TestCaseError>(acc.finish_exact())
+            idebench::query::execute_exact_scalar_with_order(ds, &q, order)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))
         };
         let order = shuffle.then(|| {
             let mut o: Vec<u32> = (0..rows as u32).collect();
@@ -408,11 +406,19 @@ proptest! {
                 .map_err(|e| TestCaseError::fail(format!("{e}")))?;
             prop_assert_eq!(&vectorized, &scalar, "one-shot vs scalar");
 
-            // Budget-sliced chunked scan, optionally over a shuffled order.
+            // Parallel morsel dispatch: every worker count is bit-identical
+            // to the scalar reference.
+            let parallel = execute_exact_parallel(ds, &q, workers)
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(&parallel, &scalar, "parallel ({} workers) vs scalar", workers);
+
+            // Budget-sliced chunked scan, optionally over a shuffled order,
+            // stepped under the parallel dispatcher.
             let ordered_scalar = scalar_with_order(ds, order.as_deref().map(|o| &o[..]))?;
             let mut run = ChunkedRun::with_order(
                 ds.clone(), q.clone(), order.clone(), SnapshotMode::Exact,
             ).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            run.set_workers(workers);
             while !run.is_done() {
                 if run.advance(budget) == 0 && !run.is_done() {
                     run.advance(budget + 64);
@@ -421,6 +427,50 @@ proptest! {
             let chunked = run.snapshot().unwrap();
             prop_assert_eq!(&chunked, &ordered_scalar, "chunked vs ordered scalar");
         }
+    }
+}
+
+/// Worker-count determinism on data that genuinely spans several dispatch
+/// chunks: runs with different worker counts must produce *identical*
+/// `AggResult`s (every f64 bit included), and match the scalar reference.
+#[test]
+fn worker_counts_are_interchangeable_across_chunks() {
+    use idebench::query::{execute_exact_parallel, execute_exact_scalar, CHUNK_ROWS};
+
+    let rows = 2 * CHUNK_ROWS + 4_321;
+    let table = idebench::datagen::flights::generate(rows, 11);
+    let ds = Dataset::Denormalized(Arc::new(table));
+    let spec = VizSpec::new(
+        "v",
+        "flights",
+        vec![
+            BinDef::Nominal {
+                dimension: "carrier".into(),
+            },
+            BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 15.0,
+                anchor: 0.0,
+            },
+        ],
+        vec![
+            AggregateSpec::count(),
+            AggregateSpec::over(AggFunc::Avg, "arr_delay"),
+            AggregateSpec::over(AggFunc::Sum, "distance"),
+        ],
+    );
+    let q = Query::for_viz(
+        &spec,
+        Some(FilterExpr::Pred(Predicate::Range {
+            column: "dep_delay".into(),
+            min: -30.0,
+            max: 90.0,
+        })),
+    );
+    let scalar = execute_exact_scalar(&ds, &q).unwrap();
+    for workers in [1usize, 2, 3, 5, 8] {
+        let result = execute_exact_parallel(&ds, &q, workers).unwrap();
+        assert_eq!(result, scalar, "workers = {workers}");
     }
 }
 
