@@ -144,92 +144,169 @@ impl BenchmarkDriver {
     ) -> Result<WorkflowOutcome, CoreError> {
         let prep = adapter.prepare(dataset, &self.settings)?;
         adapter.workflow_start();
+        let mut session = WorkflowSession::new(self.settings.clone());
+        for interaction in interactions {
+            session.step_interaction(adapter, dataset, interaction)?;
+        }
+        adapter.workflow_end();
+        Ok(session.into_outcome(adapter.name(), workflow_name, workflow_kind, prep))
+    }
+}
 
-        let mut graph = VizGraph::new();
-        let mut ranges = ColumnRanges::default();
-        let mut measurements = Vec::new();
-        let mut clock_ms = 0.0f64;
-        let mut query_id = 0usize;
+/// Resumable execution state of one workflow run — one simulated analyst.
+///
+/// [`BenchmarkDriver::run_interactions`] drives a session straight through;
+/// multi-session harnesses (the `idebench-fleet` crate) keep several
+/// sessions alive at once and interleave [`WorkflowSession::step_interaction`]
+/// calls on a shared virtual clock. The session owns everything one
+/// analyst's run accumulates — viz graph, binning-range cache, measurements,
+/// virtual clock — so interleaved sessions never share mutable state.
+#[derive(Debug)]
+pub struct WorkflowSession {
+    settings: Settings,
+    graph: VizGraph,
+    ranges: ColumnRanges,
+    measurements: Vec<QueryMeasurement>,
+    clock_ms: f64,
+    query_id: usize,
+    interactions_run: usize,
+}
 
-        for (interaction_id, interaction) in interactions.iter().enumerate() {
-            let affected = graph.apply(interaction)?;
+impl WorkflowSession {
+    /// Creates an empty session at virtual time 0.
+    pub fn new(settings: Settings) -> Self {
+        WorkflowSession {
+            settings,
+            graph: VizGraph::new(),
+            ranges: ColumnRanges::default(),
+            measurements: Vec::new(),
+            clock_ms: 0.0,
+            query_id: 0,
+            interactions_run: 0,
+        }
+    }
 
-            // Adapter notifications for non-query interactions. Queries are
-            // resolved (count-binnings → widths) before they reach the
-            // adapter so speculative fingerprints match later real queries.
-            match interaction {
-                Interaction::Link { source, target } => {
-                    let mut sq = graph.query_for(source)?;
-                    let mut tq = graph.query_for(target)?;
-                    resolve_count_binnings(&mut sq, dataset, &mut ranges)?;
-                    resolve_count_binnings(&mut tq, dataset, &mut ranges)?;
-                    adapter.on_link(&sq, &tq);
-                }
-                Interaction::Discard { viz } => adapter.on_discard(viz),
-                _ => {}
+    /// The session's settings.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// Virtual (or wall) ms elapsed since the session started.
+    pub fn clock_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Number of interactions the session has executed.
+    pub fn interactions_run(&self) -> usize {
+        self.interactions_run
+    }
+
+    /// Measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[QueryMeasurement] {
+        &self.measurements
+    }
+
+    /// Executes the session's next interaction: applies it to the viz
+    /// graph, drives every triggered query to completion or the TR budget,
+    /// and advances the session clock past the interaction's think time.
+    /// Returns the ms the interaction consumed (queries + think time).
+    pub fn step_interaction(
+        &mut self,
+        adapter: &mut dyn SystemAdapter,
+        dataset: &Dataset,
+        interaction: &Interaction,
+    ) -> Result<f64, CoreError> {
+        let started_ms = self.clock_ms;
+        let interaction_id = self.interactions_run;
+        let affected = self.graph.apply(interaction)?;
+
+        // Adapter notifications for non-query interactions. Queries are
+        // resolved (count-binnings → widths) before they reach the
+        // adapter so speculative fingerprints match later real queries.
+        match interaction {
+            Interaction::Link { source, target } => {
+                let mut sq = self.graph.query_for(source)?;
+                let mut tq = self.graph.query_for(target)?;
+                resolve_count_binnings(&mut sq, dataset, &mut self.ranges)?;
+                resolve_count_binnings(&mut tq, dataset, &mut self.ranges)?;
+                adapter.on_link(&sq, &tq);
             }
-
-            // Build and submit one query per affected viz (concurrent lanes).
-            let concurrent = affected.len();
-            let mut lanes: Vec<(String, Query, Box<dyn QueryHandle>)> =
-                Vec::with_capacity(concurrent);
-            for name in &affected {
-                let mut query = graph.query_for(name)?;
-                resolve_count_binnings(&mut query, dataset, &mut ranges)?;
-                let handle = adapter.submit(&query);
-                lanes.push((name.clone(), query, handle));
-            }
-
-            // Drive each lane to completion or the TR budget. With a
-            // nonzero contention penalty, k concurrent lanes each run at
-            // 1/(1 + penalty·(k−1)) of full speed (same wall TR, less work).
-            let slowdown =
-                1.0 + self.settings.concurrency_penalty * concurrent.saturating_sub(1) as f64;
-            let mut interaction_elapsed_ms = 0.0f64;
-            for (viz_name, query, mut handle) in lanes {
-                let (elapsed_ms, done) = self.drive_to_budget(handle.as_mut(), slowdown);
-                let snapshot = handle.snapshot();
-                let tr_violated = snapshot.is_none();
-                debug_assert!(
-                    !(done && tr_violated),
-                    "a completed query must have a fetchable result"
-                );
-                interaction_elapsed_ms = interaction_elapsed_ms.max(elapsed_ms);
-                measurements.push(QueryMeasurement {
-                    query_id,
-                    interaction_id,
-                    viz_name,
-                    query,
-                    start_ms: clock_ms,
-                    end_ms: clock_ms + elapsed_ms,
-                    tr_violated,
-                    result: snapshot,
-                    concurrent,
-                });
-                query_id += 1;
-                // Dropping the handle cancels any remaining work.
-            }
-
-            clock_ms += interaction_elapsed_ms;
-
-            // Think time: the user stares at the dashboard; the adapter may
-            // speculate (paper §5.4 / Exp 3).
-            if let Some(budget) = self.settings.think_budget_units() {
-                adapter.on_think(budget);
-            }
-            clock_ms += self.settings.think_time_ms as f64;
+            Interaction::Discard { viz } => adapter.on_discard(viz),
+            _ => {}
         }
 
-        adapter.workflow_end();
-        Ok(WorkflowOutcome {
-            system: adapter.name().to_string(),
+        // Build and submit one query per affected viz (concurrent lanes).
+        let concurrent = affected.len();
+        let mut lanes: Vec<(String, Query, Box<dyn QueryHandle>)> = Vec::with_capacity(concurrent);
+        for name in &affected {
+            let mut query = self.graph.query_for(name)?;
+            resolve_count_binnings(&mut query, dataset, &mut self.ranges)?;
+            let handle = adapter.submit(&query);
+            lanes.push((name.clone(), query, handle));
+        }
+
+        // Drive each lane to completion or the TR budget. With a
+        // nonzero contention penalty, k concurrent lanes each run at
+        // 1/(1 + penalty·(k−1)) of full speed (same wall TR, less work).
+        let slowdown =
+            1.0 + self.settings.concurrency_penalty * concurrent.saturating_sub(1) as f64;
+        let mut interaction_elapsed_ms = 0.0f64;
+        for (viz_name, query, mut handle) in lanes {
+            let (elapsed_ms, done) = self.drive_to_budget(handle.as_mut(), slowdown);
+            let snapshot = handle.snapshot();
+            let tr_violated = snapshot.is_none();
+            debug_assert!(
+                !(done && tr_violated),
+                "a completed query must have a fetchable result"
+            );
+            interaction_elapsed_ms = interaction_elapsed_ms.max(elapsed_ms);
+            self.measurements.push(QueryMeasurement {
+                query_id: self.query_id,
+                interaction_id,
+                viz_name,
+                query,
+                start_ms: self.clock_ms,
+                end_ms: self.clock_ms + elapsed_ms,
+                tr_violated,
+                result: snapshot,
+                concurrent,
+            });
+            self.query_id += 1;
+            // Dropping the handle cancels any remaining work.
+        }
+
+        self.clock_ms += interaction_elapsed_ms;
+
+        // Think time: the user stares at the dashboard; the adapter may
+        // speculate (paper §5.4 / Exp 3).
+        if let Some(budget) = self.settings.think_budget_units() {
+            adapter.on_think(budget);
+        }
+        self.clock_ms += self.settings.think_time_ms as f64;
+
+        self.interactions_run += 1;
+        Ok(self.clock_ms - started_ms)
+    }
+
+    /// Finishes the session, packaging its measurements into a
+    /// [`WorkflowOutcome`] (the caller supplies what the session does not
+    /// track: adapter identity, workflow labels, preparation stats).
+    pub fn into_outcome(
+        self,
+        system: &str,
+        workflow_name: &str,
+        workflow_kind: &str,
+        prep: PrepStats,
+    ) -> WorkflowOutcome {
+        WorkflowOutcome {
+            system: system.to_string(),
             workflow_name: workflow_name.to_string(),
             workflow_kind: workflow_kind.to_string(),
-            settings: self.settings.clone(),
+            settings: self.settings,
             prep,
-            query_results: measurements,
-            total_ms: clock_ms,
-        })
+            query_results: self.measurements,
+            total_ms: self.clock_ms,
+        }
     }
 
     /// Steps one query until done or the TR budget is exhausted.
@@ -300,36 +377,31 @@ pub struct ColumnRanges {
 }
 
 impl ColumnRanges {
-    /// The cached (or freshly scanned) min/max of a column.
+    /// The cached min/max of a column, backed by the column's own lazily
+    /// cached statistics (`Column::numeric_min_max` — the same bounds the
+    /// query planner uses for dense bucketed binning, shared across every
+    /// session scanning the same dataset).
     pub fn min_max(&mut self, dataset: &Dataset, column: &str) -> Result<(f64, f64), CoreError> {
         if let Some(&r) = self.ranges.get(column) {
             return Ok(r);
         }
-        let col = match dataset {
-            Dataset::Denormalized(t) => t.column(column)?.clone(),
+        let stats = match dataset {
+            Dataset::Denormalized(t) => t.column(column)?.numeric_min_max(),
             Dataset::Star(s) => match s.fact().column(column) {
-                Ok(c) => c.clone(),
+                Ok(c) => c.numeric_min_max(),
                 Err(_) => {
                     let (_, dim) = s
                         .dimension_of_column(column)
                         .ok_or_else(|| CoreError::Storage(format!("unknown column {column}")))?;
-                    dim.column(column)?.clone()
+                    dim.column(column)?.numeric_min_max()
                 }
             },
         };
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for i in 0..col.len() {
-            if let Some(v) = col.numeric_at(i) {
-                min = min.min(v);
-                max = max.max(v);
-            }
-        }
-        if !min.is_finite() || !max.is_finite() {
-            return Err(CoreError::Storage(format!(
-                "column {column} has no values to derive a bin range from"
-            )));
-        }
+        let (min, max) = stats.ok_or_else(|| {
+            CoreError::Storage(format!(
+                "column {column} has no finite values to derive a bin range from"
+            ))
+        })?;
         self.ranges.insert(column.to_string(), (min, max));
         Ok((min, max))
     }

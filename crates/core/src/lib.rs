@@ -33,7 +33,9 @@ pub mod settings;
 pub mod spec;
 
 pub use adapter::{PrepStats, QueryHandle, StepStatus, SystemAdapter};
-pub use driver::{BenchmarkDriver, GroundTruthProvider, QueryMeasurement, WorkflowOutcome};
+pub use driver::{
+    BenchmarkDriver, GroundTruthProvider, QueryMeasurement, WorkflowOutcome, WorkflowSession,
+};
 pub use error::CoreError;
 pub use graph::VizGraph;
 pub use interaction::Interaction;

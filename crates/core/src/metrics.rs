@@ -209,6 +209,42 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     })
 }
 
+/// Nearest-rank percentiles of `xs`, one per entry of `ps` (each in
+/// `[0, 100]`); all `None` when `xs` is empty.
+///
+/// Uses the nearest-rank definition — the `⌈p/100·n⌉`-th smallest value
+/// (1-indexed) — so every result is an observed sample and latency
+/// percentiles (p50/p95/p99 in the summary and fleet reports) stay exactly
+/// reproducible across report merges. Sorts once for any number of ranks;
+/// use this over repeated [`percentile`] calls when extracting several
+/// ranks from the same sample.
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<Option<f64>> {
+    for &p in ps {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile requires p in [0,100], got {p}"
+        );
+    }
+    if xs.is_empty() {
+        return vec![None; ps.len()];
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    ps.iter()
+        .map(|&p| {
+            let rank = ((p / 100.0 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            Some(v[rank - 1])
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`); `None` when empty. See
+/// [`percentiles`] for the definition (and for extracting several ranks
+/// with a single sort).
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    percentiles(xs, &[p]).pop().expect("one rank requested")
+}
+
 /// Standard normal quantile function (inverse CDF).
 ///
 /// Acklam's rational approximation; max absolute error ≈ 1.15e-9, far below
@@ -406,6 +442,26 @@ mod tests {
         assert_eq!(stdev(&[1.0, 1.0]), Some(0.0));
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        assert_eq!(percentile(&xs, 99.0), Some(99.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        // Small samples: always an observed value.
+        assert_eq!(percentile(&[7.0, 3.0, 5.0], 50.0), Some(5.0));
+        assert_eq!(percentile(&[7.0, 3.0, 5.0], 99.0), Some(7.0));
+        // Multi-rank helper agrees with the single-rank calls.
+        assert_eq!(
+            percentiles(&xs, &[50.0, 95.0, 99.0]),
+            vec![Some(50.0), Some(95.0), Some(99.0)]
+        );
+        assert_eq!(percentiles(&[], &[50.0, 99.0]), vec![None, None]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! and the aggregated summary report (Figure 5).
 
 use crate::driver::{GroundTruthProvider, WorkflowOutcome};
-use crate::metrics::{mean, median, Metrics};
+use crate::metrics::{mean, median, percentiles, Metrics};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -174,6 +174,16 @@ pub struct SummaryRow {
     pub workflow_kind: String,
     /// Number of queries in the cell.
     pub queries: usize,
+    /// Median (p50) query latency, ms (`end − start`; cancelled queries
+    /// latch at the TR). Nearest-rank, so always an observed latency.
+    #[serde(default)]
+    pub p50_latency_ms: f64,
+    /// 95th-percentile query latency, ms.
+    #[serde(default)]
+    pub p95_latency_ms: f64,
+    /// 99th-percentile query latency, ms.
+    #[serde(default)]
+    pub p99_latency_ms: f64,
     /// Percentage (0–100) of queries that violated the TR.
     pub pct_tr_violated: f64,
     /// Mean missing-bins ratio (0–1), violated queries counting as 1.
@@ -237,6 +247,8 @@ impl SummaryReport {
                 .collect();
             let n = group.len();
             let violated = group.iter().filter(|r| r.tr_violated).count();
+            let latencies: Vec<f64> = group.iter().map(|r| r.end_time - r.start_time).collect();
+            let latency_pcts = percentiles(&latencies, &[50.0, 95.0, 99.0]);
             let missing: Vec<f64> = group.iter().map(|r| r.metrics.missing_bins).collect();
             let mres: Vec<f64> = group
                 .iter()
@@ -259,6 +271,9 @@ impl SummaryReport {
                 time_req,
                 workflow_kind: kind,
                 queries: n,
+                p50_latency_ms: latency_pcts[0].unwrap_or(0.0),
+                p95_latency_ms: latency_pcts[1].unwrap_or(0.0),
+                p99_latency_ms: latency_pcts[2].unwrap_or(0.0),
                 pct_tr_violated: if n == 0 {
                     0.0
                 } else {
@@ -300,11 +315,14 @@ impl SummaryReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<14} {:>8} {:<14} {:>7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "{:<14} {:>8} {:<14} {:>7} {:>7} {:>7} {:>7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "system",
             "TR(ms)",
             "workflow",
             "queries",
+            "p50ms",
+            "p95ms",
+            "p99ms",
             "%TRviol",
             "missing",
             "medMRE",
@@ -315,11 +333,14 @@ impl SummaryReport {
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<14} {:>8} {:<14} {:>7} {:>8.1} {:>9.3} {:>9} {:>9} {:>9} {:>9}",
+                "{:<14} {:>8} {:<14} {:>7} {:>7.0} {:>7.0} {:>7.0} {:>8.1} {:>9.3} {:>9} {:>9} {:>9} {:>9}",
                 r.system,
                 r.time_req,
                 r.workflow_kind,
                 r.queries,
+                r.p50_latency_ms,
+                r.p95_latency_ms,
+                r.p99_latency_ms,
                 r.pct_tr_violated,
                 r.mean_missing_bins,
                 fmt_cell(r.median_mre),
@@ -377,18 +398,22 @@ impl SummaryReport {
     /// Renders the report as a GitHub-flavoured markdown table.
     pub fn render_markdown(&self) -> String {
         let mut out = String::from(
-            "| system | TR (ms) | workflow | queries | % TR violated | missing bins | \
+            "| system | TR (ms) | workflow | queries | p50 (ms) | p95 (ms) | p99 (ms) | \
+             % TR violated | missing bins | \
              median MRE | median margin | cosine | area CDF |\n\
-             |---|---:|---|---:|---:|---:|---:|---:|---:|---:|\n",
+             |---|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {:.1} | {:.3} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {:.1} | {:.3} | {} | {} | {} | {} |",
                 r.system,
                 r.time_req,
                 r.workflow_kind,
                 r.queries,
+                r.p50_latency_ms,
+                r.p95_latency_ms,
+                r.p99_latency_ms,
                 r.pct_tr_violated,
                 r.mean_missing_bins,
                 fmt_cell(r.median_mre),
@@ -564,6 +589,26 @@ mod tests {
         let row_line = lines.next().unwrap();
         assert!(row_line.starts_with("| exact | 500 |"));
         assert!(row_line.contains("0.250"));
+    }
+
+    #[test]
+    fn summary_latency_percentiles_are_observed_values() {
+        let mut rows = Vec::new();
+        for i in 1..=100u64 {
+            let mut r = row("exact", 500, "mixed", false, Some(0.1));
+            r.end_time = i as f64 * 10.0; // latencies 10, 20, …, 1000 ms
+            rows.push(r);
+        }
+        let s = SummaryReport::from_detailed(&DetailedReport { rows });
+        let cell = &s.rows[0];
+        assert_eq!(cell.p50_latency_ms, 500.0);
+        assert_eq!(cell.p95_latency_ms, 950.0);
+        assert_eq!(cell.p99_latency_ms, 990.0);
+        let text = s.render_text();
+        assert!(text.contains("p95ms"));
+        let md = s.render_markdown();
+        assert!(md.contains("| p95 (ms) |"));
+        assert!(md.lines().nth(2).unwrap().contains("| 950 |"));
     }
 
     #[test]

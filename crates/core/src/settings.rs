@@ -180,6 +180,19 @@ impl Settings {
         self
     }
 
+    /// Derives per-session settings for multi-session (fleet) runs: the
+    /// same configuration with the seed mixed with the session index, so
+    /// every simulated analyst explores independently yet reproducibly.
+    /// Session 0 keeps the base seed — a 1-session fleet is exactly the
+    /// single-analyst benchmark.
+    pub fn for_session(&self, session: u64) -> Settings {
+        let mut s = self.clone();
+        s.seed = self
+            .seed
+            .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        s
+    }
+
     /// The scan worker count engines should configure on their runs:
     /// `workers` itself, or — when it is 0 — this machine's available
     /// parallelism (min 1).
@@ -302,6 +315,23 @@ mod tests {
         let js = serde_json::to_string(&s).unwrap();
         let back: Settings = serde_json::from_str(&js).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn session_seeds_are_stable_and_distinct() {
+        let s = Settings::default().with_seed(42);
+        assert_eq!(s.for_session(0).seed, 42, "session 0 keeps the base seed");
+        let seeds: Vec<u64> = (0..8).map(|i| s.for_session(i).seed).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(s.for_session(3), s.for_session(3), "derivation is pure");
+        // Everything but the seed is untouched.
+        let d = s.for_session(5);
+        assert_eq!(d.time_requirement_ms, s.time_requirement_ms);
+        assert_eq!(d.workers, s.workers);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! [`MorselDispatcher`] partitions a scan's row range (by *scan position*,
 //! so shuffled orders chunk identically) into fixed [`CHUNK_ROWS`]-sized
-//! chunks and fans chunks out over a [`std::thread::scope`] worker pool.
+//! chunks and fans chunks out over the persistent [`crate::pool::ScanPool`].
 //! Each chunk accumulates into its own [`BatchAcc`] partial — workers never
 //! share an accumulator — and completed partials are folded into a base
 //! accumulator **in chunk order**, whichever worker finishes first.
@@ -26,13 +26,18 @@
 //!
 //! # Worker lifetime
 //!
-//! Workers are scoped to one span: each qualifying `scan_span` opens a
-//! [`std::thread::scope`], which costs one thread spawn/join round-trip per
-//! worker per span. Spans are typically a whole budget grant (and for
-//! one-shot execution, the whole table), and sub-chunk spans stay on the
-//! sequential path, so the amortized cost is small — but budget-stepped
-//! scans with many chunk-sized grants would benefit from a persistent
-//! channel-fed pool if profiling ever shows spawn overhead mattering.
+//! Workers are *pooled*, not scoped: a qualifying `scan_span` publishes
+//! helper claims on the process-wide persistent [`crate::pool::ScanPool`]
+//! and runs the span body on the calling thread itself, so fanning out
+//! costs a queue push + wake rather than a thread spawn/join round-trip
+//! per worker per span. Pool workers that pick a claim up pull chunk
+//! indices from the span's shared cursor until the supply is dry; claims
+//! the pool never got to are revoked when the caller's own pass finishes.
+//! Because the pool is shared and fixed-size (one worker per core), any
+//! number of concurrent sessions' scans compose without oversubscription —
+//! the FIFO claim queue arbitrates chunks across spans in arrival order —
+//! and budget-stepped scans with many chunk-sized grants no longer pay a
+//! spawn per grant.
 
 use crate::aggregate::GroupedAcc;
 use crate::batch::{BatchAcc, BoundPlan, Gather, Natural, MORSEL};
@@ -128,8 +133,8 @@ impl MorselDispatcher {
         );
         // Fan out only when the span carries at least a full chunk of work:
         // a tiny budget span that merely straddles a chunk boundary is not
-        // worth a thread spawn/join round-trip. The sequential path uses
-        // the same chunk grid, so the choice never affects results.
+        // worth even a pool round-trip. The sequential path uses the same
+        // chunk grid, so the choice never affects results.
         if self.workers == 1 || first_chunk == last_chunk || take < CHUNK_ROWS {
             self.scan_sequential(plan, order, start, end, scan_done, first_chunk, last_chunk)
         } else {
@@ -189,60 +194,60 @@ impl MorselDispatcher {
         let leftover: Mutex<Option<(usize, BatchAcc)>> = Mutex::new(None);
         let threads = self.workers.min(last_chunk - first_chunk + 1);
 
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
-                    let bound = plan.bind();
-                    loop {
-                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if chunk > last_chunk {
-                            break;
-                        }
-                        let lo = (chunk * CHUNK_ROWS).max(start);
-                        let hi = ((chunk + 1) * CHUNK_ROWS).min(end);
-                        // Resume the paused chunk's partial if this is it;
-                        // otherwise grab a pooled (or fresh) accumulator.
-                        let mut acc = (chunk == first_chunk)
-                            .then(|| carry.lock().unwrap().take().map(|(_, acc)| acc))
-                            .flatten()
-                            .or_else(|| pool.lock().unwrap().pop())
-                            .unwrap_or_else(|| BatchAcc::for_plan(plan));
-                        let matched = process_span(&bound, order, &mut acc, lo, hi);
-                        matched_total.fetch_add(matched as u64, Ordering::Relaxed);
-                        if hi < (chunk + 1) * CHUNK_ROWS && !scan_done {
-                            // Budget cut the (single, final) chunk short:
-                            // park it for the next span.
-                            *leftover.lock().unwrap() = Some((chunk, acc));
-                            continue;
-                        }
-                        let mut state = merge.lock().unwrap();
-                        if chunk == state.next_merge {
-                            // Fold in order, draining any parked successors.
-                            let mut recycled = Vec::new();
-                            state.base.merge_from(&acc);
-                            state.next_merge += 1;
-                            acc.reset();
-                            recycled.push(acc);
-                            while let Some(at) = state
-                                .parked
-                                .iter()
-                                .position(|(c, _)| *c == state.next_merge)
-                            {
-                                let (_, mut parked_acc) = state.parked.swap_remove(at);
-                                state.base.merge_from(&parked_acc);
-                                state.next_merge += 1;
-                                parked_acc.reset();
-                                recycled.push(parked_acc);
-                            }
-                            drop(state);
-                            pool.lock().unwrap().append(&mut recycled);
-                        } else {
-                            state.parked.push((chunk, acc));
-                        }
+        // The span body: every participant (the calling thread plus any
+        // pool worker that picks a claim up) pulls chunk indices from the
+        // shared cursor until the supply is dry.
+        let body = || {
+            let bound = plan.bind();
+            loop {
+                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk > last_chunk {
+                    break;
+                }
+                let lo = (chunk * CHUNK_ROWS).max(start);
+                let hi = ((chunk + 1) * CHUNK_ROWS).min(end);
+                // Resume the paused chunk's partial if this is it;
+                // otherwise grab a pooled (or fresh) accumulator.
+                let mut acc = (chunk == first_chunk)
+                    .then(|| carry.lock().unwrap().take().map(|(_, acc)| acc))
+                    .flatten()
+                    .or_else(|| pool.lock().unwrap().pop())
+                    .unwrap_or_else(|| BatchAcc::for_plan(plan));
+                let matched = process_span(&bound, order, &mut acc, lo, hi);
+                matched_total.fetch_add(matched as u64, Ordering::Relaxed);
+                if hi < (chunk + 1) * CHUNK_ROWS && !scan_done {
+                    // Budget cut the (single, final) chunk short:
+                    // park it for the next span.
+                    *leftover.lock().unwrap() = Some((chunk, acc));
+                    continue;
+                }
+                let mut state = merge.lock().unwrap();
+                if chunk == state.next_merge {
+                    // Fold in order, draining any parked successors.
+                    let mut recycled = Vec::new();
+                    state.base.merge_from(&acc);
+                    state.next_merge += 1;
+                    acc.reset();
+                    recycled.push(acc);
+                    while let Some(at) = state
+                        .parked
+                        .iter()
+                        .position(|(c, _)| *c == state.next_merge)
+                    {
+                        let (_, mut parked_acc) = state.parked.swap_remove(at);
+                        state.base.merge_from(&parked_acc);
+                        state.next_merge += 1;
+                        parked_acc.reset();
+                        recycled.push(parked_acc);
                     }
-                });
+                    drop(state);
+                    pool.lock().unwrap().append(&mut recycled);
+                } else {
+                    state.parked.push((chunk, acc));
+                }
             }
-        });
+        };
+        crate::pool::global_pool().scope_run(threads - 1, &body);
 
         debug_assert!(merge.into_inner().unwrap().parked.is_empty());
         self.partial = leftover.into_inner().unwrap();
@@ -252,11 +257,10 @@ impl MorselDispatcher {
     fn acquire(&mut self, plan: &CompiledPlan, chunk: usize) -> BatchAcc {
         match self.partial.take() {
             Some((c, acc)) if c == chunk => acc,
-            Some(other) => {
-                // Unreachable by the scan_span invariant; keep it anyway.
-                self.partial = Some(other);
-                self.pool.pop().unwrap_or_else(|| BatchAcc::for_plan(plan))
-            }
+            // A paused partial for any other chunk would merge stale rows
+            // on top of a re-processed chunk — fail loudly rather than
+            // silently double-count (scan_span's invariant rejects this).
+            Some((c, _)) => unreachable!("paused chunk {c} resumed as chunk {chunk}"),
             None => self.pool.pop().unwrap_or_else(|| BatchAcc::for_plan(plan)),
         }
     }

@@ -6,9 +6,9 @@
 //! computing bin slots per batch, and accumulating matches in bulk.
 //! Accumulation runs through the [`crate::dispatch::MorselDispatcher`]:
 //! fixed [`crate::dispatch::CHUNK_ROWS`]-sized chunks, each with its own
-//! accumulator, fanned out over a scoped worker pool when
-//! [`ChunkedRun::set_workers`] grants more than one worker and merged back
-//! in chunk order so results are bit-identical for every worker count. The
+//! accumulator, fanned out over the persistent [`crate::pool::ScanPool`]
+//! when [`ChunkedRun::set_workers`] grants more than one worker and merged
+//! back in chunk order so results are bit-identical for every worker count. The
 //! scalar reference path ([`execute_exact_scalar`]) retains the original
 //! row-at-a-time evaluation semantics (folded over the same chunk grid) for
 //! differential testing.

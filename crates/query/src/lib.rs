@@ -27,10 +27,13 @@
 //!   slot computation, bulk accumulation) and the dense flat-array /
 //!   sparse hashed accumulators.
 //! - [`dispatch`]: the [`MorselDispatcher`] — partitions the scan into
-//!   fixed [`CHUNK_ROWS`]-sized chunks, fans them out over a
-//!   `std::thread::scope` worker pool with a per-chunk accumulator each,
-//!   and merges partials in chunk order, making results bit-identical for
-//!   every worker count.
+//!   fixed [`CHUNK_ROWS`]-sized chunks, fans them out over the persistent
+//!   [`ScanPool`] with a per-chunk accumulator each, and merges partials in
+//!   chunk order, making results bit-identical for every worker count.
+//! - [`pool`]: the [`ScanPool`] — a process-wide, channel-fed pool of
+//!   persistent scan workers ([`global_pool`]), shared by every dispatcher
+//!   so intra-query parallelism and multi-session concurrency compose
+//!   without oversubscription.
 //! - [`executor`]: [`ChunkedRun`] — work-unit-budgeted morsel execution with
 //!   monotone, exactly-capped budget accounting over the dispatcher — plus
 //!   [`execute_exact`] / [`execute_exact_parallel`] (vectorized one-shot)
@@ -81,6 +84,7 @@ pub mod executor;
 pub mod filter;
 pub mod ground_truth;
 pub mod plan;
+pub mod pool;
 pub mod resolve;
 pub mod sql;
 
@@ -95,5 +99,6 @@ pub use executor::{
 pub use filter::CompiledFilter;
 pub use ground_truth::{enumerate_workload_queries, CachedGroundTruth};
 pub use plan::{plan_compilations, AccMode, CompiledPlan, PlannedColumn, DENSE_BIN_CAP};
+pub use pool::{global_pool, ScanPool};
 pub use resolve::{ResolvedColumn, ResolvedQuery};
 pub use sql::to_sql;

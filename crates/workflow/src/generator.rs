@@ -130,7 +130,10 @@ impl WorkflowGenerator {
             .collect()
     }
 
-    fn generate_named(&self, len: usize, name: String) -> Workflow {
+    /// Generates one workflow with exactly `len` interactions under an
+    /// explicit name (multi-session harnesses name workflows per session,
+    /// e.g. `"s3_mixed"`).
+    pub fn generate_named(&self, len: usize, name: String) -> Workflow {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut state = GenState {
             vizs: Vec::new(),

@@ -17,6 +17,10 @@
 //!   [`engine_exact`] (MonetDB-class), [`engine_progressive`] (IDEA-class),
 //!   [`engine_stratified`] (System-X-class), [`engine_wander`] (XDB-class)
 //!   and [`engine_cache`] (System-Y-class).
+//! - [`fleet`]: the multi-session fleet harness — N concurrent simulated
+//!   analysts over one shared dataset, coordinated by the persistent scan
+//!   worker pool and a cross-session semantic result cache, with merged
+//!   throughput/latency/cache reports.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@ pub use idebench_engine_exact as engine_exact;
 pub use idebench_engine_progressive as engine_progressive;
 pub use idebench_engine_stratified as engine_stratified;
 pub use idebench_engine_wander as engine_wander;
+pub use idebench_fleet as fleet;
 pub use idebench_query as query;
 pub use idebench_storage as storage;
 pub use idebench_workflow as workflow;

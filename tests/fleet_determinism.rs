@@ -1,0 +1,118 @@
+//! Fleet-level bit-identity: a seeded fleet run produces a bit-identical
+//! merged report regardless of scan worker count (and, by the harness's
+//! virtual-clock event order, of physical session interleaving) — the
+//! repo's single-scan determinism guarantee extended to whole fleets.
+
+use idebench::fleet::{FleetConfig, FleetHarness, FleetReport, LoadModel};
+use idebench::prelude::*;
+use idebench::workflow::WorkflowType;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dataset() -> Dataset {
+    Dataset::Denormalized(Arc::new(idebench::datagen::flights::generate(30_000, 42)))
+}
+
+fn fleet_report_json(dataset: &Dataset, config: FleetConfig) -> String {
+    let outcome = FleetHarness::new(config)
+        .run_with(dataset, &mut |_| {
+            Box::new(idebench::engine_exact::ExactAdapter::with_defaults())
+        })
+        .expect("fleet runs");
+    FleetReport::evaluate(&outcome, dataset).to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same seed ⇒ same merged fleet report, bit for bit, across
+    /// workers ∈ {1, 2, 8} and session counts ∈ {1, 4}.
+    #[test]
+    fn fleet_report_bit_identical_across_worker_counts(seed in any::<u64>()) {
+        let ds = dataset();
+        for sessions in [1usize, 4] {
+            let mut reference: Option<String> = None;
+            for workers in [1usize, 2, 8] {
+                let settings = Settings::default()
+                    .with_time_requirement_ms(1_000)
+                    .with_think_time_ms(500)
+                    .with_seed(seed)
+                    .with_workers(workers);
+                let cfg = FleetConfig::new(settings, sessions)
+                    .with_workflow(WorkflowType::Mixed, 8);
+                let json = fleet_report_json(&ds, cfg);
+                match &reference {
+                    None => reference = Some(json),
+                    Some(r) => prop_assert_eq!(
+                        &json, r,
+                        "sessions = {}, workers = {} diverged", sessions, workers
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Open-loop fleets are just as reproducible: Poisson arrivals are seeded,
+/// so the whole report — arrival schedule included — is a pure function of
+/// the configuration.
+#[test]
+fn open_loop_fleet_is_reproducible() {
+    let ds = dataset();
+    let cfg = || {
+        FleetConfig::new(
+            Settings::default()
+                .with_time_requirement_ms(1_000)
+                .with_think_time_ms(500)
+                .with_seed(9),
+            4,
+        )
+        .with_workflow(WorkflowType::Mixed, 8)
+        .with_load(LoadModel::Open {
+            arrival_rate_per_s: 0.5,
+        })
+    };
+    assert_eq!(fleet_report_json(&ds, cfg()), fleet_report_json(&ds, cfg()));
+}
+
+/// The staggered shared-dashboard scenario records real cross-session
+/// traffic: a query one session completed earlier on the virtual timeline
+/// is a hit when a later-arriving session repeats it, and the hit/miss
+/// ledger is itself deterministic.
+#[test]
+fn shared_dashboard_records_cross_session_hits_deterministically() {
+    let ds = dataset();
+    let cfg = || {
+        FleetConfig::new(
+            Settings::default()
+                .with_time_requirement_ms(1_000)
+                .with_think_time_ms(500)
+                .with_seed(3),
+            3,
+        )
+        .with_workflow(WorkflowType::Mixed, 8)
+        .with_shared_workflow(true)
+        .with_load(LoadModel::Open {
+            arrival_rate_per_s: 0.05,
+        })
+    };
+    let run = |c: FleetConfig| {
+        FleetHarness::new(c)
+            .run_with(&ds, &mut |_| {
+                Box::new(idebench::engine_exact::ExactAdapter::with_defaults())
+            })
+            .unwrap()
+    };
+    let a = run(cfg());
+    let b = run(cfg());
+    assert!(
+        a.cache.hits > 0,
+        "replayed workflows must hit: {:?}",
+        a.cache
+    );
+    // Later sessions replay session 0's completed queries from the cache.
+    assert!(a.sessions[1].cache.hits > 0);
+    assert_eq!(a.sessions[0].cache.hits, b.sessions[0].cache.hits);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.cache_entries, b.cache_entries);
+}
