@@ -7,20 +7,17 @@
 //!    size … is time-consuming": quality vs TR-violation trade-off).
 //! 4. Driver step-quantum sweep (TR-enforcement precision vs overhead).
 
-use idebench_bench::{adapter_by_name, default_workflows, flights_dataset, run_workflows, ExpArgs};
-use idebench_core::{Settings, SummaryReport, SystemAdapter};
+use idebench_bench::{run_workflows, ExpArgs, ExpContext};
+use idebench_core::{EngineService, Settings, SummaryReport};
 use idebench_engine_stratified::{StratifiedAdapter, StratifiedConfig};
-use idebench_query::CachedGroundTruth;
 use idebench_workflow::WorkflowType;
 
 fn main() {
     let args = ExpArgs::parse();
-    let rows = args.rows('M');
-    println!("ablations, {rows} rows");
-    let dataset = flights_dataset(rows, args.seed);
-    let mut gt = CachedGroundTruth::new(dataset.clone());
-    let workflows = default_workflows(WorkflowType::Mixed, args.seed, 5, 18);
-    let base: Settings = args
+    println!("ablations, {} rows", args.rows('M'));
+    let mut ctx = ExpContext::standard(args, 'M', WorkflowType::Mixed, 5, 18);
+    let base: Settings = ctx
+        .args
         .settings()
         .with_time_requirement_ms(1_000)
         .with_think_time_ms(1_000);
@@ -36,9 +33,7 @@ fn main() {
         ("reuse on", "progressive"),
         ("reuse off", "progressive-noreuse"),
     ] {
-        let mut adapter = adapter_by_name(system);
-        let report =
-            run_workflows(adapter.as_mut(), &dataset, &workflows, &base, &mut gt).expect("runs");
+        let report = ctx.run_system(system, &base).expect("runs");
         let s = &SummaryReport::from_detailed(&report).rows[0];
         println!(
             "{:<22} {:>10.3} {:>12.3} {:>10.3}",
@@ -60,12 +55,15 @@ fn main() {
         "rate", "%TR_violated", "mean_MRE", "missing", "prep_total(vs)"
     );
     for rate in [0.01, 0.05, 0.10, 0.25, 0.5] {
-        let mut adapter = StratifiedAdapter::new(StratifiedConfig {
+        let service = StratifiedAdapter::new(StratifiedConfig {
             sampling_rate: rate,
             ..StratifiedConfig::default()
-        });
-        let prep = adapter.prepare(&dataset, &base).expect("prepare");
-        let report = run_workflows(&mut adapter, &dataset, &workflows, &base, &mut gt)
+        })
+        .into_service();
+        let prep = service
+            .open_session(0, &ctx.dataset, &base)
+            .expect("prepare");
+        let report = run_workflows(&service, &ctx.dataset, &ctx.workflows, &base, &mut ctx.gt)
             .expect("stratified runs");
         let s = &SummaryReport::from_detailed(&report).rows[0];
         println!(
@@ -74,13 +72,13 @@ fn main() {
             s.pct_tr_violated,
             s.mean_mre.unwrap_or(f64::NAN),
             s.mean_missing_bins,
-            prep.total_units() as f64 / args.work_rate,
+            prep.total_units() as f64 / ctx.args.work_rate,
         );
         results.push(serde_json::json!({
             "ablation": "sampling_rate", "rate": rate,
             "pct_tr_violated": s.pct_tr_violated,
             "mean_mre": s.mean_mre, "mean_missing_bins": s.mean_missing_bins,
-            "prep_total_s": prep.total_units() as f64 / args.work_rate,
+            "prep_total_s": prep.total_units() as f64 / ctx.args.work_rate,
         }));
     }
 
@@ -90,9 +88,7 @@ fn main() {
     for quantum in [1_024u64, 16_384, 262_144, 1_048_576] {
         let mut settings = base.clone().with_time_requirement_ms(3_000);
         settings.step_quantum = quantum;
-        let mut adapter = adapter_by_name("exact");
-        let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
-            .expect("exact runs");
+        let report = ctx.run_system("exact", &settings).expect("exact runs");
         let s = &SummaryReport::from_detailed(&report).rows[0];
         println!(
             "{:<12} {:>12.1} {:>10}",
@@ -115,8 +111,8 @@ fn main() {
     for penalty in [0.0, 0.25, 0.5, 1.0] {
         let mut settings = base.clone();
         settings.concurrency_penalty = penalty;
-        let mut adapter = adapter_by_name("progressive");
-        let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+        let report = ctx
+            .run_system("progressive", &settings)
             .expect("progressive runs");
         let s = &SummaryReport::from_detailed(&report).rows[0];
         println!(
@@ -131,5 +127,5 @@ fn main() {
         }));
     }
 
-    args.write_json("ablations.json", &results);
+    ctx.args.write_json("ablations.json", &results);
 }

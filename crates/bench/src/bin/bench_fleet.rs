@@ -32,9 +32,11 @@ fn settings() -> Settings {
 fn run(dataset: &Dataset, config: FleetConfig) -> (FleetReport, f64) {
     let harness = FleetHarness::new(config);
     let start = Instant::now();
-    let outcome = harness
-        .run_with(dataset, &mut |_| Box::new(ExactAdapter::with_defaults()))
-        .expect("fleet run succeeds");
+    // One shared engine service for the whole fleet: every session submits
+    // into the same `Arc<dyn EngineService>` (scheduler + shared dataset
+    // ingestion); sessions own no engine state.
+    let service = ExactAdapter::with_defaults().into_service().into_shared();
+    let outcome = harness.run(dataset, service).expect("fleet run succeeds");
     let report = FleetReport::evaluate(&outcome, dataset);
     (report, start.elapsed().as_secs_f64())
 }

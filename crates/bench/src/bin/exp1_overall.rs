@@ -10,31 +10,29 @@
 //! - the Figure-6b series (median of mean relative margins vs TR),
 //! - the Figure-6c series (mean cosine distance vs TR).
 
-use idebench_bench::{
-    adapter_by_name, default_workflows, flights_dataset, print_summary, run_workflows, ExpArgs,
-    MAIN_SYSTEMS,
-};
+use idebench_bench::{print_summary, ExpArgs, ExpContext, MAIN_SYSTEMS};
 use idebench_core::{DetailedReport, Settings, SummaryReport};
 use idebench_workflow::WorkflowType;
 
 fn main() {
     let args = ExpArgs::parse();
-    let rows = args.rows('M');
-    println!("exp1: mixed workload, {rows} rows, systems {MAIN_SYSTEMS:?}");
-    let dataset = flights_dataset(rows, args.seed);
-    let workflows = default_workflows(WorkflowType::Mixed, args.seed, 10, 18);
+    println!(
+        "exp1: mixed workload, {} rows, systems {MAIN_SYSTEMS:?}",
+        args.rows('M')
+    );
     eprintln!("precomputing ground truth on all cores...");
-    let mut gt = idebench_bench::parallel_ground_truth(&dataset, &workflows);
+    let mut ctx = ExpContext::standard(args, 'M', WorkflowType::Mixed, 10, 18);
 
     let mut all = Vec::new();
     for tr in Settings::DEFAULT_TIME_REQUIREMENTS_MS {
         for system in MAIN_SYSTEMS {
-            let settings = args
+            let settings = ctx
+                .args
                 .settings()
                 .with_time_requirement_ms(tr)
                 .with_think_time_ms(1_000); // stress-test think time (§5.1)
-            let mut adapter = adapter_by_name(system);
-            let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+            let report = ctx
+                .run_system(system, &settings)
                 .unwrap_or_else(|e| panic!("{system} @ TR={tr}: {e}"));
             eprintln!("  done: {system} TR={tr}ms ({} queries)", report.rows.len());
             all.push(report);
@@ -82,8 +80,9 @@ fn main() {
             );
         }
     }
-    args.write_json("exp1_summary.json", &summary);
-    args.write_json("exp1_mre_cdfs.json", &serde_json::Value::Object(cdfs));
-    let (hits, misses) = gt.stats();
+    ctx.args.write_json("exp1_summary.json", &summary);
+    ctx.args
+        .write_json("exp1_mre_cdfs.json", &serde_json::Value::Object(cdfs));
+    let (hits, misses) = ctx.gt.stats();
     eprintln!("ground-truth cache: {hits} hits / {misses} misses");
 }

@@ -5,7 +5,7 @@
 //! main system at the default TR = 3 s and prints the missing-bins matrix.
 
 use idebench_bench::{
-    adapter_by_name, default_workflows, flights_dataset, run_workflows, ExpArgs, MAIN_SYSTEMS,
+    default_workflows, flights_dataset, run_workflows, service_by_name, ExpArgs, MAIN_SYSTEMS,
 };
 use idebench_core::{DetailedReport, SummaryReport};
 use idebench_workflow::WorkflowType;
@@ -30,8 +30,8 @@ fn main() {
                 .settings()
                 .with_time_requirement_ms(3_000)
                 .with_think_time_ms(1_000);
-            let mut adapter = adapter_by_name(system);
-            let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+            let service = service_by_name(system);
+            let report = run_workflows(service.as_ref(), &dataset, &workflows, &settings, &mut gt)
                 .unwrap_or_else(|e| panic!("{system} {kind:?}: {e}"));
             all.push(report);
         }

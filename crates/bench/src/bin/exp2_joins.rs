@@ -9,7 +9,7 @@
 //! roughly level thanks to online joins.
 
 use idebench_bench::{
-    adapter_by_name, default_workflows, flights_dataset, run_workflows, star_dataset, ExpArgs,
+    default_workflows, flights_dataset, run_workflows, service_by_name, star_dataset, ExpArgs,
 };
 use idebench_core::{DetailedReport, SummaryReport};
 use idebench_workflow::WorkflowType;
@@ -39,9 +39,9 @@ fn main() {
                     .with_time_requirement_ms(3_000)
                     .with_think_time_ms(1_000)
                     .with_joins(use_joins);
-                let mut adapter = adapter_by_name(system);
+                let service = service_by_name(system);
                 let report =
-                    run_workflows(adapter.as_mut(), dataset, &workflows, &settings, &mut gt)
+                    run_workflows(service.as_ref(), dataset, &workflows, &settings, &mut gt)
                         .unwrap_or_else(|e| panic!("{system} {schema_label} {scale}: {e}"));
                 let summary = SummaryReport::from_detailed(&report);
                 let row = &summary.rows[0];

@@ -12,10 +12,9 @@
 //! every possible carrier selection; the missing-bins ratio of the final
 //! update therefore falls as think time grows.
 
-use idebench_bench::{adapter_by_name, flights_dataset, ExpArgs};
+use idebench_bench::{flights_dataset, ExpArgs, ExpContext};
 use idebench_core::spec::{AggregateSpec, BinDef, SelCoord, Selection};
-use idebench_core::{BenchmarkDriver, DetailedReport, Interaction, VizSpec};
-use idebench_query::CachedGroundTruth;
+use idebench_core::{Interaction, VizSpec};
 use idebench_workflow::{Workflow, WorkflowType};
 
 /// The fixed §5.4 workflow.
@@ -76,8 +75,7 @@ fn main() {
     let rows = args.rows('M');
     println!("exp3: think-time sweep, {rows} rows, TR=3s, progressive engine");
     let dataset = flights_dataset(rows, args.seed);
-    let mut gt = CachedGroundTruth::new(dataset.clone());
-    let workflow = think_time_workflow();
+    let mut ctx = ExpContext::with_workload(args, dataset, vec![think_time_workflow()], false);
 
     println!(
         "\n{:<12} {:>16} {:>16}",
@@ -89,16 +87,14 @@ fn main() {
         row.insert("think_s".into(), serde_json::json!(think_s));
         let mut cells = Vec::new();
         for (label, system) in [("spec", "progressive+spec"), ("nospec", "progressive")] {
-            let settings = args
+            let settings = ctx
+                .args
                 .settings()
                 .with_time_requirement_ms(3_000)
                 .with_think_time_ms(think_s * 1_000);
-            let driver = BenchmarkDriver::new(settings);
-            let mut adapter = adapter_by_name(system);
-            let outcome = driver
-                .run_workflow(adapter.as_mut(), &dataset, &workflow)
+            let report = ctx
+                .run_nth(system, &settings, 0)
                 .unwrap_or_else(|e| panic!("{system} think={think_s}: {e}"));
-            let report = DetailedReport::from_outcome(&outcome, &mut gt);
             // The final query is the 2D update triggered by the selection.
             let last = report.rows.last().expect("final update exists");
             assert_eq!(last.viz_name, "viz_2d");
@@ -111,5 +107,5 @@ fn main() {
         println!("{:<12} {:>16.3} {:>16.3}", think_s, cells[0], cells[1]);
         series.push(serde_json::Value::Object(row));
     }
-    args.write_json("exp3_think_time.json", &series);
+    ctx.args.write_json("exp3_think_time.json", &series);
 }

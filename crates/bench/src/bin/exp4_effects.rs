@@ -10,7 +10,7 @@
 //! workload on the progressive engine at TR = 1 s and groups the per-query
 //! mean relative error and missing-bins by each candidate factor.
 
-use idebench_bench::{adapter_by_name, default_workflows, flights_dataset, run_workflows, ExpArgs};
+use idebench_bench::{ExpArgs, ExpContext};
 use idebench_core::{DetailedReport, DetailedRow};
 use idebench_workflow::WorkflowType;
 
@@ -50,17 +50,18 @@ fn print_factor(report: &DetailedReport, title: &str, classify: impl Fn(&Detaile
 
 fn main() {
     let args = ExpArgs::parse();
-    let rows = args.rows('M');
-    println!("exp4: factor analysis on the progressive engine, {rows} rows, TR=1s");
-    let dataset = flights_dataset(rows, args.seed);
-    let workflows = default_workflows(WorkflowType::Mixed, args.seed, 10, 18);
-    let mut gt = idebench_bench::parallel_ground_truth(&dataset, &workflows);
-    let settings = args
+    println!(
+        "exp4: factor analysis on the progressive engine, {} rows, TR=1s",
+        args.rows('M')
+    );
+    let mut ctx = ExpContext::standard(args, 'M', WorkflowType::Mixed, 10, 18);
+    let settings = ctx
+        .args
         .settings()
         .with_time_requirement_ms(1_000)
         .with_think_time_ms(1_000);
-    let mut adapter = adapter_by_name("progressive");
-    let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+    let report = ctx
+        .run_system("progressive", &settings)
         .expect("progressive run succeeds");
 
     print_factor(&report, "binning dimensionality", |r| {
@@ -75,7 +76,7 @@ fn main() {
         format!("{} predicates", r.filter_specificity)
     });
 
-    args.write_json("exp4_detailed.json", &report);
+    ctx.args.write_json("exp4_detailed.json", &report);
     println!(
         "\nExpectation (paper): little variation across the first four factors;\n\
          filter specificity is the factor that moves the metrics."

@@ -8,9 +8,7 @@
 //! vs wrapped in the caching/overhead layer, on three 1:N workflow
 //! variants, reporting mean per-query latency.
 
-use idebench_bench::{adapter_by_name, default_workflows, flights_dataset, ExpArgs};
-use idebench_core::{BenchmarkDriver, DetailedReport};
-use idebench_query::CachedGroundTruth;
+use idebench_bench::{default_workflows, flights_dataset, ExpArgs, ExpContext};
 use idebench_workflow::WorkflowType;
 
 fn main() {
@@ -18,9 +16,9 @@ fn main() {
     let rows = args.rows('M');
     println!("exp5: System-Y layer vs bare exact engine, {rows} rows, TR=10s");
     let dataset = flights_dataset(rows, args.seed);
-    let mut gt = CachedGroundTruth::new(dataset.clone());
     // Three variants of the 1:N workflow (three seeds).
     let workflows = default_workflows(WorkflowType::OneToN, args.seed, 3, 12);
+    let mut ctx = ExpContext::with_workload(args, dataset, workflows, false);
 
     println!(
         "\n{:<12} {:<14} {:>9} {:>14} {:>12}",
@@ -28,19 +26,18 @@ fn main() {
     );
     let mut results = Vec::new();
     let mut mean_latency = std::collections::BTreeMap::<String, Vec<f64>>::new();
-    for wf in &workflows {
+    for wf_idx in 0..ctx.workflows.len() {
         for system in ["exact", "system_y"] {
             // TR = 10 s so queries complete and latency is comparable.
-            let settings = args
+            let settings = ctx
+                .args
                 .settings()
                 .with_time_requirement_ms(10_000)
                 .with_think_time_ms(1_000);
-            let driver = BenchmarkDriver::new(settings);
-            let mut adapter = adapter_by_name(system);
-            let outcome = driver
-                .run_workflow(adapter.as_mut(), &dataset, wf)
+            let report = ctx
+                .run_nth(system, &settings, wf_idx)
                 .unwrap_or_else(|e| panic!("{system}: {e}"));
-            let report = DetailedReport::from_outcome(&outcome, &mut gt);
+            let wf_name = ctx.workflows[wf_idx].name.clone();
             let lats: Vec<f64> = report
                 .rows
                 .iter()
@@ -51,7 +48,7 @@ fn main() {
             let pct = violated as f64 / report.rows.len().max(1) as f64 * 100.0;
             println!(
                 "{:<12} {:<14} {:>9} {:>14.0} {:>12.1}",
-                wf.name,
+                wf_name,
                 system,
                 report.rows.len(),
                 mean_lat,
@@ -62,7 +59,7 @@ fn main() {
                 .or_default()
                 .push(mean_lat);
             results.push(serde_json::json!({
-                "workflow": wf.name,
+                "workflow": wf_name,
                 "system": system,
                 "mean_latency_ms": mean_lat,
                 "pct_tr_violated": pct,
@@ -75,5 +72,5 @@ fn main() {
         "\nmean added delay per query: {:.0} ms (paper: ~1-2 s per query)",
         layered - bare
     );
-    args.write_json("exp5_system_y.json", &results);
+    ctx.args.write_json("exp5_system_y.json", &results);
 }

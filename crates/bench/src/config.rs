@@ -6,7 +6,7 @@
 //! grid (time requirements × think times), and the workload — either
 //! generated on the fly or loaded from a directory of workflow JSON files.
 
-use crate::{adapter_by_name, flights_dataset, run_workflows, star_dataset};
+use crate::{flights_dataset, run_workflows, service_by_name, star_dataset};
 use idebench_core::{CoreError, DetailedReport, Settings, SummaryReport};
 use idebench_query::CachedGroundTruth;
 use idebench_workflow::{Workflow, WorkflowGenerator, WorkflowType};
@@ -200,9 +200,9 @@ impl BenchmarkConfig {
                         work_rate: self.work_rate,
                     });
                 settings.confidence_level = self.confidence_level;
-                let mut adapter = adapter_by_name(system);
+                let service = service_by_name(system);
                 let report =
-                    run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)?;
+                    run_workflows(service.as_ref(), &dataset, &workflows, &settings, &mut gt)?;
                 progress(system, tr, report.rows.len());
                 parts.push(report);
             }

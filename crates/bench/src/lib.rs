@@ -7,6 +7,7 @@
 
 pub mod config;
 
+use idebench_core::service::{EngineService, ServiceCore};
 use idebench_core::{
     BenchmarkDriver, CoreError, DetailedReport, Settings, SummaryReport, SystemAdapter,
 };
@@ -176,6 +177,16 @@ pub fn try_adapter_by_name(name: &str) -> Option<Box<dyn SystemAdapter>> {
     })
 }
 
+/// A fresh shared service by report name — the [`EngineService`]-world
+/// twin of [`adapter_by_name`] (fresh engine state per configuration, the
+/// way the paper restarts systems between runs). The service hosts one
+/// bridged adapter instance per session, so single-session experiment runs
+/// behave exactly like the pre-service driver path.
+pub fn service_by_name(name: &str) -> Arc<dyn EngineService> {
+    let inner = name.to_string();
+    ServiceCore::per_session_adapters(name, move |_| adapter_by_name(&inner)).into_shared()
+}
+
 /// Names of the four main-experiment systems.
 pub const MAIN_SYSTEMS: [&str; 4] = ["exact", "wander", "progressive", "stratified"];
 
@@ -199,10 +210,14 @@ pub fn parallel_ground_truth(dataset: &Dataset, workflows: &[Workflow]) -> Cache
     CachedGroundTruth::precompute(dataset.clone(), &distinct, threads)
 }
 
-/// Runs a set of workflows on one adapter under one configuration and
-/// evaluates every query against ground truth.
+/// Runs a set of workflows through one shared service under one
+/// configuration and evaluates every query against ground truth.
+///
+/// All workflows run as session 0 of the service — engine state (reuse
+/// caches, warm datasets) persists across the set, exactly as it did when
+/// one adapter instance ran them back to back on the legacy driver path.
 pub fn run_workflows(
-    adapter: &mut dyn SystemAdapter,
+    service: &dyn EngineService,
     dataset: &Dataset,
     workflows: &[Workflow],
     settings: &Settings,
@@ -211,10 +226,103 @@ pub fn run_workflows(
     let driver = BenchmarkDriver::new(settings.clone());
     let mut reports = Vec::with_capacity(workflows.len());
     for wf in workflows {
-        let outcome = driver.run_workflow(adapter, dataset, wf)?;
+        let outcome = driver.run_workflow_service(service, dataset, wf)?;
         reports.push(DetailedReport::from_outcome(&outcome, gt));
     }
     Ok(DetailedReport::merged(reports))
+}
+
+/// The dataset/workload/ground-truth bundle every experiment binary sets
+/// up before its configuration sweep — extracted here so the `exp*` and
+/// `ablations` binaries share one construction path instead of repeating
+/// it.
+pub struct ExpContext {
+    /// The parsed common CLI arguments.
+    pub args: ExpArgs,
+    /// The dataset under test.
+    pub dataset: Dataset,
+    /// The workload.
+    pub workflows: Vec<Workflow>,
+    /// Ground-truth oracle for metric evaluation (shared across every
+    /// configuration cell of the sweep).
+    pub gt: CachedGroundTruth,
+}
+
+impl ExpContext {
+    /// The standard sweep setup: flights data at `scale`, `count`
+    /// workflows of `kind` with `len` interactions, and ground truth for
+    /// the whole workload pre-computed in parallel on all cores.
+    pub fn standard(
+        args: ExpArgs,
+        scale: char,
+        kind: WorkflowType,
+        count: usize,
+        len: usize,
+    ) -> ExpContext {
+        let dataset = flights_dataset(args.rows(scale), args.seed);
+        let workflows = default_workflows(kind, args.seed, count, len);
+        let gt = parallel_ground_truth(&dataset, &workflows);
+        ExpContext {
+            args,
+            dataset,
+            workflows,
+            gt,
+        }
+    }
+
+    /// Setup over an explicit dataset/workload pair. `precompute_gt`
+    /// chooses between the parallel whole-workload oracle and a lazy
+    /// on-demand one (cheaper when only a few queries are evaluated).
+    pub fn with_workload(
+        args: ExpArgs,
+        dataset: Dataset,
+        workflows: Vec<Workflow>,
+        precompute_gt: bool,
+    ) -> ExpContext {
+        let gt = if precompute_gt {
+            parallel_ground_truth(&dataset, &workflows)
+        } else {
+            CachedGroundTruth::new(dataset.clone())
+        };
+        ExpContext {
+            args,
+            dataset,
+            workflows,
+            gt,
+        }
+    }
+
+    /// Runs the whole workload on a fresh shared service for `system`
+    /// (see [`service_by_name`]) and evaluates it.
+    pub fn run_system(
+        &mut self,
+        system: &str,
+        settings: &Settings,
+    ) -> Result<DetailedReport, CoreError> {
+        let service = service_by_name(system);
+        run_workflows(
+            service.as_ref(),
+            &self.dataset,
+            &self.workflows,
+            settings,
+            &mut self.gt,
+        )
+    }
+
+    /// Runs workflow `idx` alone on a fresh shared service for `system`
+    /// (per-workflow comparisons, e.g. Exp 5's three 1:N variants).
+    pub fn run_nth(
+        &mut self,
+        system: &str,
+        settings: &Settings,
+        idx: usize,
+    ) -> Result<DetailedReport, CoreError> {
+        let service = service_by_name(system);
+        let driver = BenchmarkDriver::new(settings.clone());
+        let outcome =
+            driver.run_workflow_service(service.as_ref(), &self.dataset, &self.workflows[idx])?;
+        Ok(DetailedReport::from_outcome(&outcome, &mut self.gt))
+    }
 }
 
 /// Pretty-prints a summary report with a heading.
@@ -245,7 +353,7 @@ mod tests {
     #[test]
     fn end_to_end_smoke_all_systems() {
         // A miniature Exp-1: every main system runs a small mixed workload
-        // and produces evaluable reports.
+        // through the shared-service path and produces evaluable reports.
         let dataset = flights_dataset(20_000, 7);
         let mut gt = CachedGroundTruth::new(dataset.clone());
         let workflows = default_workflows(WorkflowType::Mixed, 7, 2, 8);
@@ -255,13 +363,36 @@ mod tests {
             .with_think_time_ms(10)
             .with_execution(idebench_core::ExecutionMode::Virtual { work_rate: 1e5 });
         for name in MAIN_SYSTEMS {
-            let mut adapter = adapter_by_name(name);
-            let report = run_workflows(adapter.as_mut(), &dataset, &workflows, &settings, &mut gt)
+            let service = service_by_name(name);
+            let report = run_workflows(service.as_ref(), &dataset, &workflows, &settings, &mut gt)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!report.rows.is_empty(), "{name} produced no rows");
             let summary = SummaryReport::from_detailed(&report);
             assert_eq!(summary.rows.len(), 1);
         }
+    }
+
+    #[test]
+    fn exp_context_matches_manual_setup() {
+        let args = ExpArgs {
+            rows_m: 10_000,
+            seed: 9,
+            work_rate: 1e5,
+            ..ExpArgs::default()
+        };
+        let settings = args
+            .settings()
+            .with_time_requirement_ms(100)
+            .with_think_time_ms(10);
+        let mut ctx = ExpContext::standard(args, 'M', WorkflowType::Mixed, 2, 6);
+        assert_eq!(ctx.workflows.len(), 2);
+        let merged = ctx.run_system("exact", &settings).expect("exact runs");
+        let nth = ctx.run_nth("exact", &settings, 0).expect("first workflow");
+        assert!(!merged.rows.is_empty());
+        assert!(nth.rows.len() < merged.rows.len());
+        // The context's oracle served both runs.
+        let (hits, _misses) = ctx.gt.stats();
+        assert!(hits > 0, "repeated queries hit the shared oracle");
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl StepStatus {
 /// time requirement it calls [`QueryHandle::snapshot`] and drops the handle.
 /// Per the paper's metric definition, the time requirement is violated iff
 /// `snapshot()` returns `None` at that point.
-pub trait QueryHandle {
+///
+/// Handles are `Send` so the shared-service scheduler
+/// ([`crate::service::TicketScheduler`]) can own in-flight queries from any
+/// thread.
+pub trait QueryHandle: Send {
     /// Performs up to `granted` work units. Blocking engines typically
     /// consume the full grant until done; progressive engines refresh their
     /// snapshot as they go.
@@ -87,7 +91,13 @@ impl PrepStats {
 }
 
 /// Proxy between the benchmark and a system under test (paper Listing 1).
-pub trait SystemAdapter {
+///
+/// This is the *single-analyst* engine SPI: `submit` takes `&mut self` and
+/// the driver owns the adapter exclusively. Shared multi-session runs go
+/// through [`crate::service::EngineService`] instead; existing adapters run
+/// there unchanged via [`crate::service::LegacyAdapterBridge`] (`Send` is
+/// required so bridged adapters can live inside the shared service).
+pub trait SystemAdapter: Send {
     /// Short system name used in reports (e.g. `"exact"`, `"progressive"`).
     fn name(&self) -> &str;
 

@@ -1,5 +1,18 @@
 //! The benchmark driver (paper §4.4).
 //!
+//! Two execution paths share the driver's accounting, bit for bit:
+//!
+//! - the **service path** ([`WorkflowSession::step_service`],
+//!   [`BenchmarkDriver::run_workflow_service`]) — sessions submit
+//!   [`QueryOptions`]-tagged queries into one shared [`EngineService`] and
+//!   drive the returned tickets; this is what every harness and experiment
+//!   binary uses;
+//! - the **legacy adapter path** ([`WorkflowSession::step_interaction`],
+//!   [`BenchmarkDriver::run_workflow`]) — the paper's original
+//!   one-adapter-per-driver shape, kept both as the migration reference
+//!   (the service path is pinned bit-identical to it) and for driving a
+//!   bare [`SystemAdapter`] without a service wrapper.
+//!
 //! The driver simulates a workflow against a [`SystemAdapter`]: it applies
 //! each interaction to the visualization graph, fans the interaction out
 //! into (possibly multiple concurrent) queries, enforces the time
@@ -30,6 +43,7 @@ use crate::graph::VizGraph;
 use crate::interaction::Interaction;
 use crate::query::Query;
 use crate::result::AggResult;
+use crate::service::{EngineService, QueryOptions, QueryTicket, SessionId};
 use crate::settings::{ExecutionMode, Settings};
 use crate::spec::BinDef;
 use idebench_storage::Dataset;
@@ -133,6 +147,44 @@ impl BenchmarkDriver {
         )
     }
 
+    /// Runs a full workflow as session 0 of a shared
+    /// [`EngineService`] — the service-path twin of
+    /// [`BenchmarkDriver::run_workflow`], bit-identical to it for every
+    /// in-repo engine (pinned by the `service_semantics` differential
+    /// proptest).
+    pub fn run_workflow_service(
+        &self,
+        service: &dyn EngineService,
+        dataset: &Dataset,
+        workflow: &impl RunnableWorkflow,
+    ) -> Result<WorkflowOutcome, CoreError> {
+        self.run_interactions_service(
+            service,
+            dataset,
+            workflow.workflow_name(),
+            workflow.workflow_kind(),
+            workflow.interactions(),
+        )
+    }
+
+    /// Runs a raw interaction sequence as session 0 of a shared service.
+    pub fn run_interactions_service(
+        &self,
+        service: &dyn EngineService,
+        dataset: &Dataset,
+        workflow_name: &str,
+        workflow_kind: &str,
+        interactions: &[Interaction],
+    ) -> Result<WorkflowOutcome, CoreError> {
+        let mut session = WorkflowSession::new(self.settings.clone());
+        let prep = service.open_session(session.session_id(), dataset, &self.settings)?;
+        for interaction in interactions {
+            session.step_service(service, dataset, interaction)?;
+        }
+        service.close_session(session.session_id());
+        Ok(session.into_outcome(service.name(), workflow_name, workflow_kind, prep))
+    }
+
     /// Prepares the adapter and runs a raw interaction sequence.
     pub fn run_interactions(
         &self,
@@ -157,13 +209,16 @@ impl BenchmarkDriver {
 ///
 /// [`BenchmarkDriver::run_interactions`] drives a session straight through;
 /// multi-session harnesses (the `idebench-fleet` crate) keep several
-/// sessions alive at once and interleave [`WorkflowSession::step_interaction`]
-/// calls on a shared virtual clock. The session owns everything one
-/// analyst's run accumulates — viz graph, binning-range cache, measurements,
-/// virtual clock — so interleaved sessions never share mutable state.
+/// sessions alive at once and interleave [`WorkflowSession::step_service`]
+/// calls on a shared virtual clock, all submitting into one shared
+/// [`EngineService`]. The session owns everything one analyst's run
+/// accumulates — viz graph, binning-range cache, measurements, virtual
+/// clock — and *nothing else*: engine state lives behind the service, keyed
+/// by the session's [`SessionId`].
 #[derive(Debug)]
 pub struct WorkflowSession {
     settings: Settings,
+    session_id: SessionId,
     graph: VizGraph,
     ranges: ColumnRanges,
     measurements: Vec<QueryMeasurement>,
@@ -173,10 +228,17 @@ pub struct WorkflowSession {
 }
 
 impl WorkflowSession {
-    /// Creates an empty session at virtual time 0.
+    /// Creates an empty session at virtual time 0 (session id 0 — the
+    /// single-analyst default).
     pub fn new(settings: Settings) -> Self {
+        WorkflowSession::for_session(settings, 0)
+    }
+
+    /// Creates an empty session with an explicit service session id.
+    pub fn for_session(settings: Settings, session_id: SessionId) -> Self {
         WorkflowSession {
             settings,
+            session_id,
             graph: VizGraph::new(),
             ranges: ColumnRanges::default(),
             measurements: Vec::new(),
@@ -189,6 +251,11 @@ impl WorkflowSession {
     /// The session's settings.
     pub fn settings(&self) -> &Settings {
         &self.settings
+    }
+
+    /// The id this session submits under on a shared service.
+    pub fn session_id(&self) -> SessionId {
+        self.session_id
     }
 
     /// Virtual (or wall) ms elapsed since the session started.
@@ -286,6 +353,132 @@ impl WorkflowSession {
 
         self.interactions_run += 1;
         Ok(self.clock_ms - started_ms)
+    }
+
+    /// Executes the session's next interaction against a shared
+    /// [`EngineService`] — the service-path twin of
+    /// [`WorkflowSession::step_interaction`], and the only path
+    /// multi-session harnesses use: the session owns no engine, it submits
+    /// tickets under its [`SessionId`] with the time requirement as the
+    /// work-unit deadline and drives them through the service's scheduler.
+    ///
+    /// Accounting is bit-identical to the adapter path: lanes are
+    /// submitted in affected-viz order and share one effective deadline,
+    /// so the scheduler's `(deadline, session, ticket)` order funds them
+    /// exactly as the legacy per-lane budget loop did.
+    pub fn step_service(
+        &mut self,
+        service: &dyn EngineService,
+        dataset: &Dataset,
+        interaction: &Interaction,
+    ) -> Result<f64, CoreError> {
+        let started_ms = self.clock_ms;
+        let interaction_id = self.interactions_run;
+        let affected = self.graph.apply(interaction)?;
+
+        // Service notifications for non-query interactions (queries are
+        // resolved before they reach the engine, as in the adapter path).
+        match interaction {
+            Interaction::Link { source, target } => {
+                let mut sq = self.graph.query_for(source)?;
+                let mut tq = self.graph.query_for(target)?;
+                resolve_count_binnings(&mut sq, dataset, &mut self.ranges)?;
+                resolve_count_binnings(&mut tq, dataset, &mut self.ranges)?;
+                service.on_link(self.session_id, &sq, &tq);
+            }
+            Interaction::Discard { viz } => service.on_discard(self.session_id, viz),
+            _ => {}
+        }
+
+        // Submit one ticket per affected viz (concurrent lanes, each with
+        // the full per-lane deadline budget).
+        let concurrent = affected.len();
+        let slowdown =
+            1.0 + self.settings.concurrency_penalty * concurrent.saturating_sub(1) as f64;
+        let deadline_units = match self.settings.tr_budget_units() {
+            Some(budget) => (budget as f64 / slowdown).floor() as u64,
+            None => u64::MAX, // wall mode: the driver enforces the deadline
+        };
+        let mut lanes: Vec<(String, Query, QueryTicket)> = Vec::with_capacity(concurrent);
+        for name in &affected {
+            let mut query = self.graph.query_for(name)?;
+            resolve_count_binnings(&mut query, dataset, &mut self.ranges)?;
+            let opts = QueryOptions::for_session(self.session_id)
+                .with_deadline_units(deadline_units)
+                .with_step_quantum(self.settings.step_quantum);
+            let ticket = service.submit(&query, opts);
+            lanes.push((name.clone(), query, ticket));
+        }
+
+        let mut interaction_elapsed_ms = 0.0f64;
+        for (viz_name, query, ticket) in lanes {
+            let (elapsed_ms, done) = self.drive_ticket(&ticket, slowdown);
+            let snapshot = ticket.snapshot();
+            let tr_violated = snapshot.is_none();
+            debug_assert!(
+                !(done && tr_violated),
+                "a completed query must have a fetchable result"
+            );
+            interaction_elapsed_ms = interaction_elapsed_ms.max(elapsed_ms);
+            self.measurements.push(QueryMeasurement {
+                query_id: self.query_id,
+                interaction_id,
+                viz_name,
+                query,
+                start_ms: self.clock_ms,
+                end_ms: self.clock_ms + elapsed_ms,
+                tr_violated,
+                result: snapshot,
+                concurrent,
+            });
+            self.query_id += 1;
+            // Dropping the ticket revokes any remaining work.
+        }
+
+        self.clock_ms += interaction_elapsed_ms;
+
+        if let Some(budget) = self.settings.think_budget_units() {
+            service.on_think(self.session_id, budget);
+        }
+        self.clock_ms += self.settings.think_time_ms as f64;
+
+        self.interactions_run += 1;
+        Ok(self.clock_ms - started_ms)
+    }
+
+    /// Drives one ticket to settlement within the time requirement.
+    ///
+    /// Virtual mode: the deadline is already encoded in the ticket's
+    /// work-unit budget, so this just pumps the scheduler until the ticket
+    /// settles. Wall mode: pumps until done or the wall deadline, then
+    /// deadline-cancels. Returns `(elapsed_ms, done)` with `elapsed_ms`
+    /// capped at the TR, mirroring `drive_to_budget`.
+    fn drive_ticket(&self, ticket: &QueryTicket, slowdown: f64) -> (f64, bool) {
+        match self.settings.execution {
+            ExecutionMode::Virtual { .. } => {
+                let status = ticket.drive();
+                (
+                    self.settings.units_to_ms(status.spent()) * slowdown,
+                    status.is_done(),
+                )
+            }
+            ExecutionMode::Wall => {
+                let start = Instant::now();
+                let deadline_ms = self.settings.time_requirement_ms as f64;
+                loop {
+                    let status = ticket.pump();
+                    if status.is_settled() {
+                        break;
+                    }
+                    if start.elapsed().as_secs_f64() * 1e3 >= deadline_ms {
+                        ticket.expire();
+                        break;
+                    }
+                }
+                let elapsed = (start.elapsed().as_secs_f64() * 1e3).min(deadline_ms);
+                (elapsed, ticket.status().is_done())
+            }
+        }
     }
 
     /// Finishes the session, packaging its measurements into a
@@ -754,6 +947,70 @@ mod tests {
             }
             other => panic!("expected Width, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn service_path_matches_adapter_path_bit_for_bit() {
+        let interactions = vec![
+            Interaction::CreateViz { viz: viz("src") },
+            Interaction::CreateViz { viz: viz("t1") },
+            Interaction::Link {
+                source: "src".into(),
+                target: "t1".into(),
+            },
+            Interaction::SetFilter {
+                viz: "src".into(),
+                filter: None,
+            },
+            Interaction::Discard { viz: "t1".into() },
+        ];
+        let driver = BenchmarkDriver::new(settings());
+        let ds = dataset();
+        for cost in [100u64, 5_000] {
+            let mut adapter = ToyAdapter::new(cost, false);
+            let legacy = driver
+                .run_interactions(&mut adapter, &ds, "wf", "test", &interactions)
+                .unwrap();
+            let service = crate::service::ServiceCore::shared_adapter(ToyAdapter::new(cost, false));
+            let via_service = driver
+                .run_interactions_service(&service, &ds, "wf", "test", &interactions)
+                .unwrap();
+            assert_eq!(legacy.total_ms, via_service.total_ms);
+            assert_eq!(legacy.prep, via_service.prep);
+            assert_eq!(legacy.query_results.len(), via_service.query_results.len());
+            for (a, b) in legacy.query_results.iter().zip(&via_service.query_results) {
+                assert_eq!(a.start_ms, b.start_ms);
+                assert_eq!(a.end_ms, b.end_ms);
+                assert_eq!(a.tr_violated, b.tr_violated);
+                assert_eq!(a.result, b.result);
+                assert_eq!(a.concurrent, b.concurrent);
+            }
+        }
+    }
+
+    #[test]
+    fn service_path_forwards_think_and_discard_hooks() {
+        // The shared-adapter bridge lets us observe hook traffic through a
+        // raw pointer-free route: run, then inspect via a second run — here
+        // we simply assert the run completes and the clock matches the
+        // adapter path's arithmetic (hook forwarding is covered by the
+        // bit-identity test above; this pins the think-time budget math).
+        let driver = BenchmarkDriver::new(settings());
+        let service = crate::service::ServiceCore::shared_adapter(ToyAdapter::new(200, false));
+        let out = driver
+            .run_interactions_service(
+                &service,
+                &dataset(),
+                "wf",
+                "test",
+                &[
+                    Interaction::CreateViz { viz: viz("a") },
+                    Interaction::CreateViz { viz: viz("b") },
+                ],
+            )
+            .unwrap();
+        assert!((out.total_ms - 2.0 * (200.0 + 500.0)).abs() < 1e-9);
+        assert_eq!(out.system, "toy");
     }
 
     #[test]

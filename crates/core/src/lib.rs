@@ -14,6 +14,11 @@
 //!   dataset size, joins, confidence level — plus the execution mode.
 //! - [`adapter`]: the [`SystemAdapter`] / [`QueryHandle`] interface that
 //!   systems under test implement (§4.5).
+//! - [`service`]: the shared, concurrent, deadline-aware [`EngineService`]
+//!   API — one engine serving many sessions through a deadline/priority
+//!   scheduler with cooperative cancellation ([`QueryTicket`]), plus the
+//!   [`service::LegacyAdapterBridge`] that runs `SystemAdapter` impls
+//!   behind it.
 //! - [`driver`]: the benchmark driver that runs workflows, enforces the time
 //!   requirement, and grants think-time to adapters (§4.4).
 //! - [`metrics`]: the quality metrics of §4.7 (missing bins, mean relative
@@ -29,6 +34,7 @@ pub mod metrics;
 pub mod query;
 pub mod report;
 pub mod result;
+pub mod service;
 pub mod settings;
 pub mod spec;
 
@@ -43,5 +49,9 @@ pub use metrics::Metrics;
 pub use query::Query;
 pub use report::{DetailedReport, DetailedRow, SummaryReport, SummaryRow};
 pub use result::{AggResult, BinCoord, BinKey, BinStats};
+pub use service::{
+    EngineService, QueryOptions, QueryTicket, ServiceCore, SessionId, TicketScheduler,
+    TicketStatus, TicketSubscription,
+};
 pub use settings::{DataScale, ExecutionMode, Settings};
 pub use spec::{AggFunc, AggregateSpec, BinDef, FilterExpr, Predicate, Selection, VizSpec};

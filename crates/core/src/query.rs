@@ -1,8 +1,9 @@
 //! The resolved query the driver hands to system adapters.
 
 use crate::spec::{AggregateSpec, BinDef, FilterExpr, VizSpec};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// A fully-resolved aggregate query.
 ///
@@ -10,7 +11,21 @@ use std::hash::{Hash, Hasher};
 /// the viz's binning and aggregates, plus the *composed* filter — the viz's
 /// own filter AND-combined with the filters/selections propagated from all
 /// linked upstream visualizations (paper §2.2 "linking").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// # Canonical-key memoization
+///
+/// [`Query::canonical_key`] (and [`Query::fingerprint`], which hashes it)
+/// is computed once per query value and cached: caches on hot paths — the
+/// fleet's cross-session semantic cache, ground-truth memoization, the
+/// progressive engine's reuse store — all look queries up by key, and
+/// re-serializing the binning/aggregate/filter trees to JSON on every
+/// lookup dominated their cost. The memo is invisible to the public field
+/// API, but it makes post-construction mutation a two-phase contract:
+/// build the query, mutate its `pub` fields freely (the driver resolves
+/// count-binnings in place, the progressive engine composes speculative
+/// filters), and only then read the key. Cloning resets the memo, so a
+/// clone-then-mutate never inherits a stale key.
+#[derive(Debug)]
 pub struct Query {
     /// Name of the visualization this query refreshes.
     pub viz_name: String,
@@ -22,6 +37,64 @@ pub struct Query {
     pub aggregates: Vec<AggregateSpec>,
     /// Composed filter, if any.
     pub filter: Option<FilterExpr>,
+    /// Lazily computed canonical key (see the type-level docs).
+    key: OnceLock<Arc<str>>,
+}
+
+impl Clone for Query {
+    /// Clones the query *fields*; the canonical-key memo is reset so a
+    /// clone that is subsequently mutated (speculative filter composition)
+    /// cannot inherit a stale key.
+    fn clone(&self) -> Self {
+        Query {
+            viz_name: self.viz_name.clone(),
+            source: self.source.clone(),
+            binning: self.binning.clone(),
+            aggregates: self.aggregates.clone(),
+            filter: self.filter.clone(),
+            key: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Query {
+    /// Semantic fields only — the key memo is derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.viz_name == other.viz_name
+            && self.source == other.source
+            && self.binning == other.binning
+            && self.aggregates == other.aggregates
+            && self.filter == other.filter
+    }
+}
+
+impl Serialize for Query {
+    fn to_json(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("viz_name".into(), self.viz_name.to_json());
+        m.insert("source".into(), self.source.to_json());
+        m.insert("binning".into(), self.binning.to_json());
+        m.insert("aggregates".into(), self.aggregates.to_json());
+        m.insert("filter".into(), self.filter.to_json());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for Query {
+    fn from_json(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Query"))?;
+        let field = |name: &str| obj.get(name).ok_or_else(|| DeError::missing(name, "Query"));
+        Ok(Query {
+            viz_name: String::from_json(field("viz_name")?)?,
+            source: String::from_json(field("source")?)?,
+            binning: Vec::from_json(field("binning")?)?,
+            aggregates: Vec::from_json(field("aggregates")?)?,
+            filter: Option::from_json(field("filter")?)?,
+            key: OnceLock::new(),
+        })
+    }
 }
 
 impl Query {
@@ -33,6 +106,7 @@ impl Query {
             binning: spec.binning.clone(),
             aggregates: spec.aggregates.clone(),
             filter,
+            key: OnceLock::new(),
         }
     }
 
@@ -40,25 +114,33 @@ impl Query {
     /// query (binning + aggregates + filter + source), independent of which
     /// viz or interaction issued it. Used for ground-truth caching and
     /// result reuse.
-    pub fn canonical_key(&self) -> String {
-        // serde_json's field ordering is declaration order, which is stable.
-        let mut key = String::with_capacity(128);
-        key.push_str(&self.source);
-        key.push('|');
-        key.push_str(&serde_json::to_string(&self.binning).expect("binning serializes"));
-        key.push('|');
-        key.push_str(&serde_json::to_string(&self.aggregates).expect("aggregates serialize"));
-        key.push('|');
-        match &self.filter {
-            Some(f) => {
-                key.push_str(&serde_json::to_string(f).expect("filter serializes"));
+    ///
+    /// Computed once per query value and memoized (cheap `Arc` share on
+    /// every further call); see the type-level docs for the
+    /// mutate-before-first-read contract.
+    pub fn canonical_key(&self) -> Arc<str> {
+        Arc::clone(self.key.get_or_init(|| {
+            // serde_json's field ordering is declaration order, which is
+            // stable.
+            let mut key = String::with_capacity(128);
+            key.push_str(&self.source);
+            key.push('|');
+            key.push_str(&serde_json::to_string(&self.binning).expect("binning serializes"));
+            key.push('|');
+            key.push_str(&serde_json::to_string(&self.aggregates).expect("aggregates serialize"));
+            key.push('|');
+            match &self.filter {
+                Some(f) => {
+                    key.push_str(&serde_json::to_string(f).expect("filter serializes"));
+                }
+                None => key.push_str("null"),
             }
-            None => key.push_str("null"),
-        }
-        key
+            key.into()
+        }))
     }
 
-    /// A 64-bit fingerprint of [`Self::canonical_key`].
+    /// A 64-bit fingerprint of [`Self::canonical_key`] (memoized through
+    /// the same cache).
     pub fn fingerprint(&self) -> u64 {
         let mut h = rustc_hash::FxHasher::default();
         self.canonical_key().hash(&mut h);
@@ -128,6 +210,28 @@ mod tests {
     }
 
     #[test]
+    fn canonical_key_is_memoized_and_shared() {
+        let q = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
+        let a = q.canonical_key();
+        let b = q.canonical_key();
+        assert!(Arc::ptr_eq(&a, &b), "second read shares the memo");
+    }
+
+    #[test]
+    fn clone_resets_the_key_memo() {
+        let q1 = Query::for_viz(&viz(), None);
+        let k1 = q1.canonical_key();
+        // Clone *after* the original's key was computed, then mutate the
+        // clone — the speculative-query pattern. The clone must produce a
+        // fresh key, not the original's.
+        let mut q2 = q1.clone();
+        q2.filter = Some(range("distance", 0.0, 500.0));
+        let k2 = q2.canonical_key();
+        assert_ne!(k1, k2);
+        assert_eq!(q1.canonical_key(), k1);
+    }
+
+    #[test]
     fn referenced_columns_cover_all_parts() {
         let q = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
         let cols = q.referenced_columns();
@@ -150,5 +254,6 @@ mod tests {
         let js = serde_json::to_string(&q).unwrap();
         let back: Query = serde_json::from_str(&js).unwrap();
         assert_eq!(q, back);
+        assert_eq!(q.canonical_key(), back.canonical_key());
     }
 }

@@ -82,6 +82,31 @@ impl<E: SystemAdapter> CachingAdapter<E> {
     }
 }
 
+impl<E: SystemAdapter + 'static> CachingAdapter<E> {
+    /// Hosts the middleware layer as a shared
+    /// [`idebench_core::EngineService`]: one `CachingAdapter` instance per
+    /// session (each analyst's IDE keeps its own private result store, as
+    /// System Y does), created lazily over `make_inner` backends.
+    pub fn service(
+        config: CacheConfig,
+        mut make_inner: impl FnMut(idebench_core::SessionId) -> E + Send + 'static,
+    ) -> idebench_core::ServiceCore {
+        // The name probe ("cache+<inner>") becomes session 0's adapter, so
+        // `make_inner` runs exactly once per session.
+        let probe = CachingAdapter::new(make_inner(0), config);
+        let name = probe.name.clone();
+        let mut probe = Some(probe);
+        idebench_core::ServiceCore::per_session_adapters(name, move |session| {
+            if session == 0 {
+                if let Some(p) = probe.take() {
+                    return Box::new(p);
+                }
+            }
+            Box::new(CachingAdapter::new(make_inner(session), config))
+        })
+    }
+}
+
 impl<E: SystemAdapter> SystemAdapter for CachingAdapter<E> {
     fn name(&self) -> &str {
         &self.name
@@ -352,6 +377,35 @@ mod tests {
     fn name_reflects_layering() {
         let a = adapter(1);
         assert_eq!(a.name(), "cache+exact");
+    }
+
+    #[test]
+    fn service_keeps_private_store_per_session() {
+        use idebench_core::{EngineService, QueryOptions, TicketStatus};
+        let ds = dataset(5_000);
+        let svc = CachingAdapter::service(
+            CacheConfig {
+                overhead_s: 100.0 / 1e6, // 100 units at the default rate
+                enable_cache: true,
+            },
+            |_| ExactAdapter::with_defaults(),
+        );
+        assert_eq!(svc.name(), "cache+exact");
+        svc.open_session(0, &ds, &Settings::default()).unwrap();
+        svc.open_session(1, &ds, &Settings::default()).unwrap();
+        // Session 0 executes, then repeats: the repeat costs only the
+        // middleware overhead.
+        let t = svc.submit(&query(), QueryOptions::for_session(0));
+        assert!(t.drive().is_done());
+        drop(t);
+        let t = svc.submit(&query(), QueryOptions::for_session(0));
+        assert_eq!(t.drive(), TicketStatus::Done { spent: 100 });
+        drop(t);
+        // Session 1's store is private: its first submission re-executes.
+        let t = svc.submit(&query(), QueryOptions::for_session(1));
+        let st = t.drive();
+        assert!(st.is_done());
+        assert!(st.spent() > 100, "no cross-session result sharing");
     }
 
     #[test]

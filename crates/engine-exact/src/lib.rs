@@ -99,6 +99,14 @@ impl ExactAdapter {
         &self.config
     }
 
+    /// Hosts this adapter as a shared [`idebench_core::EngineService`]:
+    /// one engine instance serves every session (submission is stateless
+    /// across sessions, so dataset ingestion and column statistics are
+    /// shared fleet-wide instead of duplicated per analyst).
+    pub fn into_service(self) -> idebench_core::ServiceCore {
+        idebench_core::ServiceCore::shared_adapter(self)
+    }
+
     fn dataset(&self) -> &Dataset {
         self.dataset
             .as_ref()
@@ -357,6 +365,25 @@ mod tests {
             handle.snapshot().unwrap(),
             execute_exact(&ds, &query()).unwrap()
         );
+    }
+
+    #[test]
+    fn shared_service_answers_identically_across_sessions() {
+        use idebench_core::{EngineService, QueryOptions, TicketStatus};
+        let ds = dataset(1_000);
+        let svc = ExactAdapter::with_defaults().into_service();
+        let p0 = svc.open_session(0, &ds, &Settings::default()).unwrap();
+        let p1 = svc.open_session(1, &ds, &Settings::default()).unwrap();
+        assert_eq!(p0, p1, "shared instance ingests the dataset once");
+        let expected = execute_exact(&ds, &query()).unwrap();
+        for session in [0u64, 1] {
+            let t = svc.submit(
+                &query(),
+                QueryOptions::for_session(session).with_step_quantum(100_000),
+            );
+            assert!(matches!(t.drive(), TicketStatus::Done { .. }));
+            assert_eq!(t.snapshot().unwrap(), expected);
+        }
     }
 
     #[test]

@@ -135,6 +135,18 @@ impl ProgressiveAdapter {
         })
     }
 
+    /// Hosts the progressive engine as a shared
+    /// [`idebench_core::EngineService`]. Unlike the stateless engines, the
+    /// progressive engine keeps *per-analyst* state (the reuse store,
+    /// speculation rotation, first-query warm-up), so the service holds
+    /// one engine instance per session — created lazily behind the
+    /// service; sessions themselves own nothing.
+    pub fn service(config: ProgressiveConfig) -> idebench_core::ServiceCore {
+        idebench_core::ServiceCore::per_session_adapters("progressive", move |_| {
+            Box::new(ProgressiveAdapter::new(config.clone()))
+        })
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ProgressiveConfig {
         &self.config
@@ -669,6 +681,29 @@ mod tests {
         assert_eq!(adapter.cached_runs(), 0);
         // Discarding an unknown viz is a no-op.
         adapter.on_discard("ghost");
+    }
+
+    #[test]
+    fn service_isolates_per_session_reuse_state() {
+        use idebench_core::{EngineService, QueryOptions};
+        let ds = dataset(50_000);
+        let svc = ProgressiveAdapter::service(warmless());
+        svc.open_session(0, &ds, &settings()).unwrap();
+        svc.open_session(1, &ds, &settings()).unwrap();
+        let q = count_query("v");
+        // Session 0 makes partial progress, then re-submits: the reuse
+        // store resumes its own progress.
+        let t = svc.submit(&q, QueryOptions::for_session(0).with_step_quantum(20_000));
+        t.pump();
+        drop(t);
+        let t = svc.submit(&q, QueryOptions::for_session(0));
+        let resumed = t.snapshot().expect("resumed run has progress");
+        assert!(resumed.processed_fraction > 0.0);
+        drop(t);
+        // Session 1's identical query starts fresh — reuse state is
+        // per-analyst, never shared across sessions.
+        let t = svc.submit(&q, QueryOptions::for_session(1));
+        assert!(t.snapshot().is_none(), "no cross-session progress bleed");
     }
 
     #[test]

@@ -129,6 +129,14 @@ impl StratifiedAdapter {
     pub fn sample_rows(&self) -> usize {
         self.sample.as_ref().map_or(0, Dataset::fact_rows)
     }
+
+    /// Hosts this adapter as a shared [`idebench_core::EngineService`]:
+    /// one engine instance serves every session, so the offline stratified
+    /// sample is built once and shared fleet-wide (submission is stateless
+    /// across sessions).
+    pub fn into_service(self) -> idebench_core::ServiceCore {
+        idebench_core::ServiceCore::shared_adapter(self)
+    }
 }
 
 /// Builds a stratified sample of `table`: proportional allocation over the
@@ -463,5 +471,24 @@ mod tests {
         // Idempotent.
         let again = adapter.prepare(&ds, &Settings::default()).unwrap();
         assert_eq!(prep, again);
+    }
+
+    #[test]
+    fn shared_service_builds_the_sample_once() {
+        use idebench_core::{EngineService, QueryOptions};
+        let ds = dataset(10_000);
+        let svc = StratifiedAdapter::with_defaults().into_service();
+        let p0 = svc.open_session(0, &ds, &Settings::default()).unwrap();
+        // Second session: prepare is idempotent on the shared instance —
+        // same offline sample, same reported costs.
+        let p1 = svc.open_session(1, &ds, &Settings::default()).unwrap();
+        assert_eq!(p0, p1);
+        let t = svc.submit(
+            &count_query(),
+            QueryOptions::for_session(1).with_step_quantum(1_000_000),
+        );
+        assert!(t.drive().is_done());
+        let snap = t.snapshot().unwrap();
+        assert!(!snap.exact, "sample scan yields estimates");
     }
 }

@@ -117,6 +117,13 @@ impl WanderAdapter {
     pub fn config(&self) -> &WanderConfig {
         &self.config
     }
+
+    /// Hosts this adapter as a shared [`idebench_core::EngineService`]:
+    /// one engine instance serves every session (the shuffle order and the
+    /// loaded dataset are shared fleet-wide; submission is stateless).
+    pub fn into_service(self) -> idebench_core::ServiceCore {
+        idebench_core::ServiceCore::shared_adapter(self)
+    }
 }
 
 impl SystemAdapter for WanderAdapter {
@@ -476,5 +483,23 @@ mod tests {
         assert_eq!(prep.load_units, 7_000);
         let again = adapter.prepare(&ds, &Settings::default()).unwrap();
         assert_eq!(prep, again);
+    }
+
+    #[test]
+    fn shared_service_serves_multiple_sessions() {
+        use idebench_core::{EngineService, QueryOptions};
+        let ds = dataset(2_000);
+        let svc = WanderAdapter::with_defaults().into_service();
+        svc.open_session(0, &ds, &Settings::default()).unwrap();
+        svc.open_session(1, &ds, &Settings::default()).unwrap();
+        let expected = execute_exact(&ds, &count_query()).unwrap();
+        for session in [0u64, 1] {
+            let t = svc.submit(
+                &count_query(),
+                QueryOptions::for_session(session).with_step_quantum(100_000),
+            );
+            assert!(t.drive().is_done());
+            assert_eq!(t.snapshot().unwrap(), expected);
+        }
     }
 }

@@ -6,9 +6,16 @@
 //! its rendering overhead): this cache is shared by **every** session of a
 //! fleet, keys are the canonical query *semantics*
 //! ([`Query::canonical_key`] — independent of which viz, interaction, or
-//! session issued the query), hits are served instantly (an in-memory
-//! lookup costs no benchmark work units), and hit/miss/insert traffic is
-//! accounted **per session** for the fleet report.
+//! session issued the query; memoized per query, so a lookup never
+//! re-serializes), hits are served instantly (an in-memory lookup costs no
+//! benchmark work units), and hit/miss/insert traffic is accounted **per
+//! session** for the fleet report.
+//!
+//! Since the shared-service redesign the cache is an [`EngineService`]
+//! layer: [`SemanticCache::wrap_service`] fronts any engine service with
+//! [`CachedEngineService`], whose `submit` intercepts hits (instantly-done
+//! tickets at zero work-unit cost) and stages exact completed results via
+//! the miss ticket's settle hook.
 //!
 //! # Virtual-time causality
 //!
@@ -27,9 +34,10 @@
 //! bit-identical to re-executing the query — which is what lets a fleet
 //! run's report stay deterministic while sharing results across sessions.
 
-use idebench_core::{
-    AggResult, CoreError, PrepStats, Query, QueryHandle, Settings, StepStatus, SystemAdapter,
+use idebench_core::service::{
+    EngineService, QueryOptions, QueryTicket, SessionId, TicketScheduler,
 };
+use idebench_core::{AggResult, CoreError, PrepStats, Query, Settings};
 use idebench_storage::Dataset;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -40,7 +48,7 @@ use std::sync::{Arc, Mutex};
 pub struct CacheStats {
     /// Queries answered from the shared cache.
     pub hits: u64,
-    /// Queries that had to execute on the session's engine.
+    /// Queries that had to execute on the engine.
     pub misses: u64,
     /// Exact completed results admitted to the cache.
     pub insertions: u64,
@@ -76,13 +84,13 @@ struct Entry {
 /// results completed during its in-flight interaction, awaiting commit.
 struct SessionState {
     now_ms: f64,
-    staged: Vec<(String, Arc<AggResult>)>,
+    staged: Vec<(Arc<str>, Arc<AggResult>)>,
     stats: CacheStats,
 }
 
 /// The shared cross-session result cache (see module docs).
 pub struct SemanticCache {
-    entries: Mutex<FxHashMap<String, Entry>>,
+    entries: Mutex<FxHashMap<Arc<str>, Entry>>,
     sessions: Mutex<Vec<SessionState>>,
 }
 
@@ -143,7 +151,7 @@ impl SemanticCache {
     /// time. Non-exact results (estimates, partials) are rejected —
     /// serving them to another session would not be bit-identical to
     /// re-execution.
-    pub fn stage(&self, session: usize, key: String, result: &AggResult) {
+    pub fn stage(&self, session: usize, key: Arc<str>, result: &AggResult) {
         if !result.exact {
             return;
         }
@@ -198,149 +206,109 @@ impl SemanticCache {
         total
     }
 
-    /// Wraps a session's engine adapter with this cache: lookups intercept
-    /// `submit`, exact completed results are staged on the way out.
-    pub fn wrap(
+    /// Fronts a shared engine service with this cache: `submit` intercepts
+    /// hits, exact completed results are staged on the way out. Reports
+    /// keep the inner engine's name so fleet summaries group by engine,
+    /// not by cache layer.
+    pub fn wrap_service(
         self: &Arc<Self>,
-        session: usize,
-        inner: Box<dyn SystemAdapter>,
-    ) -> FleetCachedAdapter {
-        FleetCachedAdapter {
+        inner: Arc<dyn EngineService>,
+    ) -> Arc<CachedEngineService> {
+        Arc::new(CachedEngineService {
             inner,
             cache: Arc::clone(self),
-            session,
-        }
+            hits: TicketScheduler::new(),
+        })
     }
 }
 
-/// A session's engine adapter, fronted by the shared [`SemanticCache`].
-///
-/// Reports keep the inner engine's name so fleet summaries group by engine,
-/// not by cache layer.
-pub struct FleetCachedAdapter {
-    inner: Box<dyn SystemAdapter>,
+/// A shared engine service fronted by the [`SemanticCache`] (see
+/// [`SemanticCache::wrap_service`]).
+pub struct CachedEngineService {
+    inner: Arc<dyn EngineService>,
     cache: Arc<SemanticCache>,
-    session: usize,
+    /// Mints the instantly-done tickets that serve cache hits (hits never
+    /// touch the engine's scheduler — they cost zero work units).
+    hits: Arc<TicketScheduler>,
 }
 
-impl FleetCachedAdapter {
-    /// The wrapped engine adapter.
-    pub fn inner(&self) -> &dyn SystemAdapter {
-        self.inner.as_ref()
+impl CachedEngineService {
+    /// The wrapped engine service.
+    pub fn inner(&self) -> &Arc<dyn EngineService> {
+        &self.inner
     }
 
-    /// The session this adapter serves.
-    pub fn session(&self) -> usize {
-        self.session
+    /// The cache this layer consults.
+    pub fn cache(&self) -> &Arc<SemanticCache> {
+        &self.cache
     }
 }
 
-impl SystemAdapter for FleetCachedAdapter {
+impl EngineService for CachedEngineService {
     fn name(&self) -> &str {
         self.inner.name()
     }
 
-    fn prepare(&mut self, dataset: &Dataset, settings: &Settings) -> Result<PrepStats, CoreError> {
+    fn open_session(
+        &self,
+        session: SessionId,
+        dataset: &Dataset,
+        settings: &Settings,
+    ) -> Result<PrepStats, CoreError> {
         // Deliberately does NOT clear the shared cache: other sessions'
         // results stay valid because every session shares one immutable
         // dataset.
-        self.inner.prepare(dataset, settings)
+        self.inner.open_session(session, dataset, settings)
     }
 
-    fn workflow_start(&mut self) {
-        self.inner.workflow_start();
+    fn close_session(&self, session: SessionId) {
+        self.inner.close_session(session);
     }
 
-    fn workflow_end(&mut self) {
-        self.inner.workflow_end();
-    }
-
-    fn submit(&mut self, query: &Query) -> Box<dyn QueryHandle> {
-        if let Some(hit) = self.cache.lookup(self.session, query) {
-            return Box::new(HitHandle { result: hit });
+    fn submit(&self, query: &Query, opts: QueryOptions) -> QueryTicket {
+        let session = opts.session as usize;
+        if let Some(hit) = self.cache.lookup(session, query) {
+            // The supersede rule holds across layers: a hit answered here
+            // still revokes any in-flight engine ticket for the same viz.
+            self.inner.revoke_superseded(opts.session, &query.viz_name);
+            // Served instantly at zero work-unit cost, bit-identical to
+            // re-execution (only exact completed results are admitted; the
+            // `Arc` share defers the one deep copy to `snapshot()`).
+            return self
+                .hits
+                .admit_settled(Some(hit), query.viz_name.clone(), opts);
         }
-        Box::new(MissHandle {
-            inner: self.inner.submit(query),
-            cache: Arc::clone(&self.cache),
-            session: self.session,
-            key: query.canonical_key(),
-            staged: false,
-        })
+        let ticket = self.inner.submit(query, opts);
+        let cache = Arc::clone(&self.cache);
+        let key = query.canonical_key();
+        ticket.on_settle(move |status, snapshot| {
+            // Stage only completed queries (expired/revoked tickets have
+            // nothing exact to share); `stage` rejects non-exact results.
+            if status.is_done() {
+                if let Some(result) = snapshot {
+                    cache.stage(session, key, result);
+                }
+            }
+        });
+        ticket
     }
 
-    fn on_link(&mut self, source_query: &Query, target_query: &Query) {
-        self.inner.on_link(source_query, target_query);
+    fn revoke_superseded(&self, session: SessionId, viz_name: &str) {
+        // Hit tickets are born settled (nothing pending on `hits`), so
+        // only the engine layer can hold a superseded ticket.
+        self.inner.revoke_superseded(session, viz_name);
     }
 
-    fn on_think(&mut self, budget_units: u64) {
-        self.inner.on_think(budget_units);
+    fn on_link(&self, session: SessionId, source_query: &Query, target_query: &Query) {
+        self.inner.on_link(session, source_query, target_query);
     }
 
-    fn on_discard(&mut self, viz_name: &str) {
-        self.inner.on_discard(viz_name);
-    }
-}
-
-/// Serves a cache hit: complete immediately, at zero work-unit cost. Holds
-/// the shared entry by `Arc`; the one unavoidable deep copy happens at
-/// `snapshot` (the driver owns its measurement's result).
-struct HitHandle {
-    result: Arc<AggResult>,
-}
-
-impl QueryHandle for HitHandle {
-    fn step(&mut self, _granted: u64) -> StepStatus {
-        StepStatus::Done { units: 0 }
+    fn on_think(&self, session: SessionId, budget_units: u64) {
+        self.inner.on_think(session, budget_units);
     }
 
-    fn snapshot(&self) -> Option<AggResult> {
-        Some((*self.result).clone())
-    }
-
-    fn is_done(&self) -> bool {
-        true
-    }
-}
-
-/// Forwards to the engine's handle, staging the exact final result for the
-/// shared cache the moment the query completes (cancelled queries are
-/// never staged — they have nothing exact to share).
-struct MissHandle {
-    inner: Box<dyn QueryHandle>,
-    cache: Arc<SemanticCache>,
-    session: usize,
-    key: String,
-    staged: bool,
-}
-
-impl MissHandle {
-    fn maybe_stage(&mut self) {
-        if self.staged || !self.inner.is_done() {
-            return;
-        }
-        if let Some(result) = self.inner.snapshot() {
-            self.cache
-                .stage(self.session, std::mem::take(&mut self.key), &result);
-            self.staged = true;
-        }
-    }
-}
-
-impl QueryHandle for MissHandle {
-    fn step(&mut self, granted: u64) -> StepStatus {
-        let status = self.inner.step(granted);
-        if status.is_done() {
-            self.maybe_stage();
-        }
-        status
-    }
-
-    fn snapshot(&self) -> Option<AggResult> {
-        self.inner.snapshot()
-    }
-
-    fn is_done(&self) -> bool {
-        self.inner.is_done()
+    fn on_discard(&self, session: SessionId, viz_name: &str) {
+        self.inner.on_discard(session, viz_name);
     }
 }
 
@@ -348,7 +316,7 @@ impl QueryHandle for MissHandle {
 mod tests {
     use super::*;
     use idebench_core::spec::{AggregateSpec, BinDef};
-    use idebench_core::VizSpec;
+    use idebench_core::{ServiceCore, TicketStatus, VizSpec};
     use idebench_engine_exact::ExactAdapter;
     use idebench_query::execute_exact;
     use idebench_storage::{DataType, TableBuilder};
@@ -380,26 +348,36 @@ mod tests {
         Query::for_viz(&spec, None)
     }
 
-    fn run_to_done(h: &mut Box<dyn QueryHandle>) {
-        while !h.step(1_000_000).is_done() {}
+    fn service(
+        cache: &Arc<SemanticCache>,
+        sessions: usize,
+        ds: &Dataset,
+    ) -> Arc<CachedEngineService> {
+        let svc = cache
+            .wrap_service(ServiceCore::shared_adapter(ExactAdapter::with_defaults()).into_shared());
+        for s in 0..sessions as u64 {
+            svc.open_session(s, ds, &Settings::default()).unwrap();
+        }
+        svc
+    }
+
+    fn opts(session: SessionId) -> QueryOptions {
+        QueryOptions::for_session(session).with_step_quantum(1_000_000)
     }
 
     #[test]
     fn repeated_query_from_second_session_is_a_cross_session_hit() {
         let ds = dataset(10_000);
         let cache = SemanticCache::new(2);
-        let mut s0 = cache.wrap(0, Box::new(ExactAdapter::with_defaults()));
-        let mut s1 = cache.wrap(1, Box::new(ExactAdapter::with_defaults()));
-        s0.prepare(&ds, &Settings::default()).unwrap();
-        s1.prepare(&ds, &Settings::default()).unwrap();
+        let svc = service(&cache, 2, &ds);
 
         // Session 0's interaction at t = 0 executes and completes the
         // query, which the harness commits at the interaction's end
         // (t = 800): a recorded miss + insertion, no hits anywhere yet.
         cache.begin_event(0, 0.0);
-        let mut h = s0.submit(&query());
-        run_to_done(&mut h);
-        drop(h);
+        let t = svc.submit(&query(), opts(0));
+        assert!(t.drive().is_done());
+        drop(t);
         cache.commit_staged(0, 800.0);
         assert_eq!(
             cache.session_stats(0),
@@ -415,11 +393,9 @@ mod tests {
         // completed (t = 900 > 800), is a recorded cross-session hit:
         // instantly done, zero units, bit-identical result.
         cache.begin_event(1, 900.0);
-        let mut h = s1.submit(&query());
-        let st = h.step(1);
-        assert!(st.is_done());
-        assert_eq!(st.units(), 0);
-        assert_eq!(h.snapshot().unwrap(), execute_exact(&ds, &query()).unwrap());
+        let t = svc.submit(&query(), opts(1));
+        assert_eq!(t.status(), TicketStatus::Done { spent: 0 });
+        assert_eq!(t.snapshot().unwrap(), execute_exact(&ds, &query()).unwrap());
         assert_eq!(
             cache.session_stats(1),
             CacheStats {
@@ -436,24 +412,21 @@ mod tests {
     fn future_results_are_invisible_on_the_virtual_timeline() {
         let ds = dataset(10_000);
         let cache = SemanticCache::new(2);
-        let mut s0 = cache.wrap(0, Box::new(ExactAdapter::with_defaults()));
-        let mut s1 = cache.wrap(1, Box::new(ExactAdapter::with_defaults()));
-        s0.prepare(&ds, &Settings::default()).unwrap();
-        s1.prepare(&ds, &Settings::default()).unwrap();
+        let svc = service(&cache, 2, &ds);
 
         // Session 0 completes the query during [0, 800].
         cache.begin_event(0, 0.0);
-        let mut h = s0.submit(&query());
-        run_to_done(&mut h);
-        drop(h);
+        let t = svc.submit(&query(), opts(0));
+        t.drive();
+        drop(t);
         cache.commit_staged(0, 800.0);
 
         // Session 1 issues the same query at t = 100 — before session 0's
         // completion on the virtual timeline — and must therefore miss and
         // execute it itself, as in a real concurrent deployment.
         cache.begin_event(1, 100.0);
-        let mut h = s1.submit(&query());
-        assert!(!h.step(1).is_done(), "causal miss must execute the scan");
+        let t = svc.submit(&query(), opts(1).with_step_quantum(10));
+        assert!(!t.pump().is_settled(), "causal miss must execute the scan");
         assert_eq!(cache.session_stats(1).misses, 1);
         assert_eq!(cache.session_stats(1).hits, 0);
     }
@@ -462,12 +435,11 @@ mod tests {
     fn uncommitted_results_stay_invisible_within_an_interaction() {
         let ds = dataset(10_000);
         let cache = SemanticCache::new(1);
-        let mut s0 = cache.wrap(0, Box::new(ExactAdapter::with_defaults()));
-        s0.prepare(&ds, &Settings::default()).unwrap();
+        let svc = service(&cache, 1, &ds);
         cache.begin_event(0, 0.0);
-        let mut h = s0.submit(&query());
-        run_to_done(&mut h);
-        drop(h);
+        let t = svc.submit(&query(), opts(0));
+        t.drive();
+        drop(t);
         // Completed but not yet committed: a concurrent lane of the same
         // interaction would not see it.
         assert!(cache.is_empty());
@@ -480,16 +452,64 @@ mod tests {
     fn cancelled_query_is_not_staged() {
         let ds = dataset(100_000);
         let cache = SemanticCache::new(1);
-        let mut s0 = cache.wrap(0, Box::new(ExactAdapter::with_defaults()));
-        s0.prepare(&ds, &Settings::default()).unwrap();
+        let svc = service(&cache, 1, &ds);
         cache.begin_event(0, 0.0);
-        let mut h = s0.submit(&query());
-        h.step(50); // far from completion
-        drop(h); // cancelled
+        let t = svc.submit(&query(), opts(0).with_step_quantum(50));
+        t.pump(); // far from completion
+        drop(t); // cancelled (revoked)
         cache.commit_staged(0, 500.0);
         assert!(cache.is_empty());
         assert_eq!(cache.session_stats(0).insertions, 0);
         assert_eq!(cache.session_stats(0).misses, 1);
+    }
+
+    #[test]
+    fn cache_hit_supersedes_an_in_flight_engine_miss() {
+        let ds = dataset(100_000);
+        let cache = SemanticCache::new(2);
+        let svc = service(&cache, 2, &ds);
+        // Session 1 computes the result and commits it at t = 100.
+        cache.begin_event(1, 0.0);
+        let t = svc.submit(&query(), opts(1));
+        t.drive();
+        drop(t);
+        cache.commit_staged(1, 100.0);
+
+        // Session 0's first refresh at t = 50 — before session 1's result
+        // exists on the virtual timeline — misses and stays in flight...
+        cache.begin_event(0, 50.0);
+        let miss = svc.submit(&query(), opts(0).with_step_quantum(50));
+        miss.pump();
+        assert!(!miss.is_settled());
+        // ...then the viz re-queries at t = 200 and hits the cache: the
+        // supersede rule must reach through the cache layer and revoke the
+        // engine ticket — no further units, no stale snapshot.
+        let spent = miss.spent_units();
+        cache.begin_event(0, 200.0);
+        let hit = svc.submit(&query(), opts(0));
+        assert_eq!(hit.status(), TicketStatus::Done { spent: 0 });
+        assert!(miss.status().is_revoked());
+        assert!(miss.snapshot().is_none());
+        hit.drive();
+        assert_eq!(miss.spent_units(), spent);
+    }
+
+    #[test]
+    fn superseded_query_is_neither_staged_nor_served_stale() {
+        let ds = dataset(100_000);
+        let cache = SemanticCache::new(1);
+        let svc = service(&cache, 1, &ds);
+        cache.begin_event(0, 0.0);
+        let t1 = svc.submit(&query(), opts(0).with_step_quantum(50));
+        t1.pump();
+        // A new interaction re-queries the same viz: t1 is revoked.
+        let t2 = svc.submit(&query(), opts(0).with_step_quantum(50));
+        assert!(t1.status().is_revoked());
+        assert!(t1.snapshot().is_none(), "no stale snapshot");
+        drop(t1);
+        drop(t2);
+        cache.commit_staged(0, 500.0);
+        assert!(cache.is_empty(), "revoked queries stage nothing");
     }
 
     #[test]
@@ -537,12 +557,13 @@ mod tests {
     }
 
     #[test]
-    fn adapter_keeps_engine_name_and_forwards_prepare() {
+    fn wrapper_keeps_engine_name_and_forwards_open_session() {
         let ds = dataset(100);
         let cache = SemanticCache::new(1);
-        let mut a = cache.wrap(0, Box::new(ExactAdapter::with_defaults()));
-        assert_eq!(a.name(), "exact");
-        let prep = a.prepare(&ds, &Settings::default()).unwrap();
+        let svc = cache
+            .wrap_service(ServiceCore::shared_adapter(ExactAdapter::with_defaults()).into_shared());
+        assert_eq!(svc.name(), "exact");
+        let prep = svc.open_session(0, &ds, &Settings::default()).unwrap();
         assert!(prep.load_units > 0);
     }
 }

@@ -7,17 +7,22 @@
 //! crate adds that dimension: a [`FleetHarness`] spawns N simulated analyst
 //! sessions (each an independent Markov-generated workflow from
 //! `idebench-workflow`, seeded per session via
-//! [`idebench_core::Settings::for_session`]), drives them through the
-//! existing [`WorkflowSession`]/[`SystemAdapter`] machinery against one
-//! shared immutable [`Dataset`], and coordinates them through two shared
-//! services:
+//! [`idebench_core::Settings::for_session`]), and drives them all into
+//! **one shared `Arc<dyn EngineService>`** — sessions own no engine state
+//! at all; they submit deadline-tagged tickets under their session id and
+//! the service's central scheduler multiplexes the grants
+//! ([`idebench_core::service`]). Three shared layers coordinate the fleet:
 //!
+//! - the **shared engine service** itself (scheduler + engine state:
+//!   shared dataset ingestion for stateless engines, per-session state
+//!   behind the service for engines that need it);
 //! - the **persistent scan worker pool** (`idebench_query::ScanPool`):
 //!   every session's query scans fan their morsel chunks over one
 //!   process-wide pool, so intra-query parallelism and inter-session
 //!   concurrency compose without oversubscription; and
 //! - the **cross-session semantic result cache** ([`SemanticCache`]):
-//!   canonical query semantics → exact result, with per-session hit/miss
+//!   canonical query semantics → exact result, layered over the engine
+//!   service as [`CachedEngineService`], with per-session hit/miss
 //!   accounting. Visibility is *causal on the virtual timeline* — a lookup
 //!   only hits results whose producing query completed at an earlier
 //!   virtual time, so simultaneous analysts miss each other's in-flight
@@ -47,9 +52,10 @@
 pub mod cache;
 pub mod report;
 
-pub use cache::{CacheStats, FleetCachedAdapter, SemanticCache};
+pub use cache::{CacheStats, CachedEngineService, SemanticCache};
 pub use report::{FleetReport, SessionSummary};
 
+use idebench_core::service::{EngineService, ServiceCore, SessionId};
 use idebench_core::WorkflowSession;
 use idebench_core::{
     CoreError, ExecutionMode, PrepStats, Settings, SystemAdapter, WorkflowOutcome,
@@ -59,6 +65,7 @@ use idebench_workflow::{Workflow, WorkflowGenerator, WorkflowType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How sessions arrive at the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -171,11 +178,12 @@ pub struct FleetHarness {
     config: FleetConfig,
 }
 
-/// One live session of the event loop.
+/// One live session of the event loop. Note what is *not* here: no
+/// adapter, no engine handle — engine state lives behind the shared
+/// service, keyed by the session id.
 struct LiveSession {
     arrival_ms: f64,
     workflow: Workflow,
-    adapter: FleetCachedAdapter,
     session: WorkflowSession,
     next_interaction: usize,
     prepared: bool,
@@ -258,25 +266,29 @@ impl FleetHarness {
         )
     }
 
-    /// Runs the fleet: one adapter per session from `make_adapter`, all
-    /// sessions interleaved on the shared virtual clock (see the module's
-    /// determinism notes), all scans over the shared worker pool, results
-    /// shared through the semantic cache.
-    pub fn run_with(
+    /// Runs the fleet against **one shared engine service**: every session
+    /// submits into `engine` under its own session id, interleaved on the
+    /// shared virtual clock (see the module's determinism notes), all
+    /// scans over the shared worker pool, results shared through the
+    /// semantic cache layered over the service.
+    pub fn run(
         &self,
         dataset: &Dataset,
-        make_adapter: &mut dyn FnMut(usize) -> Box<dyn SystemAdapter>,
+        engine: Arc<dyn EngineService>,
     ) -> Result<FleetOutcome, CoreError> {
         let n = self.config.sessions;
         let cache = SemanticCache::new(n);
+        let service = cache.wrap_service(engine);
         let arrivals = self.arrivals();
 
         let mut live: Vec<LiveSession> = (0..n)
             .map(|i| LiveSession {
                 arrival_ms: arrivals[i],
                 workflow: self.workflow_for(i),
-                adapter: cache.wrap(i, make_adapter(i)),
-                session: WorkflowSession::new(self.config.settings.for_session(i as u64)),
+                session: WorkflowSession::for_session(
+                    self.config.settings.for_session(i as u64),
+                    i as SessionId,
+                ),
                 next_interaction: 0,
                 prepared: false,
                 prep: PrepStats::default(),
@@ -302,8 +314,7 @@ impl FleetHarness {
             let Some((i, start_ms)) = pick else { break };
             let s = &mut live[i];
             if !s.prepared {
-                s.prep = s.adapter.prepare(dataset, s.session.settings())?;
-                s.adapter.workflow_start();
+                s.prep = service.open_session(i as SessionId, dataset, s.session.settings())?;
                 s.prepared = true;
             }
             // Cache-causality protocol: stamp the session's virtual "now"
@@ -315,20 +326,20 @@ impl FleetHarness {
             cache.begin_event(i, start_ms);
             let interaction = s.workflow.interactions[s.next_interaction].clone();
             s.session
-                .step_interaction(&mut s.adapter, dataset, &interaction)?;
+                .step_service(service.as_ref(), dataset, &interaction)?;
             let queries_end_ms =
                 s.arrival_ms + s.session.clock_ms() - s.session.settings().think_time_ms as f64;
             cache.commit_staged(i, queries_end_ms);
             s.next_interaction += 1;
             if s.done() {
-                s.adapter.workflow_end();
+                service.close_session(i as SessionId);
             }
         }
 
+        let system = service.name().to_string();
         let mut sessions = Vec::with_capacity(n);
         let mut makespan_ms = 0.0f64;
         for (i, s) in live.into_iter().enumerate() {
-            let system = s.adapter.name().to_string();
             let interactions = s.session.interactions_run();
             let outcome =
                 s.session
@@ -350,13 +361,40 @@ impl FleetHarness {
             cache: cache.totals(),
         })
     }
+
+    /// Compatibility path for [`SystemAdapter`]-world callers: bridges
+    /// `make_adapter` (one instance per session, the pre-service fleet
+    /// shape) behind a [`ServiceCore`] and calls [`FleetHarness::run`].
+    /// Produces bit-identical outcomes to the pre-redesign harness —
+    /// `make_adapter` is called exactly once per session, in session-id
+    /// order, up front (as the old harness did).
+    pub fn run_with(
+        &self,
+        dataset: &Dataset,
+        mut make_adapter: impl FnMut(SessionId) -> Box<dyn SystemAdapter> + Send + 'static,
+    ) -> Result<FleetOutcome, CoreError> {
+        let mut prebuilt: rustc_hash::FxHashMap<SessionId, Box<dyn SystemAdapter>> =
+            (0..self.config.sessions as SessionId)
+                .map(|i| (i, make_adapter(i)))
+                .collect();
+        let name = prebuilt
+            .get(&0)
+            .map(|a| a.name().to_string())
+            .unwrap_or_default();
+        let service = ServiceCore::per_session_adapters(name, move |session| {
+            prebuilt
+                .remove(&session)
+                .expect("one prebuilt adapter per fleet session")
+        })
+        .into_shared();
+        self.run(dataset, service)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use idebench_engine_exact::ExactAdapter;
-    use std::sync::Arc;
 
     fn dataset(n: usize) -> Dataset {
         Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(n, 42)))
@@ -373,15 +411,17 @@ mod tests {
         .with_workflow(WorkflowType::Mixed, 8)
     }
 
-    fn exact_factory() -> impl FnMut(usize) -> Box<dyn SystemAdapter> {
-        |_| Box::new(ExactAdapter::with_defaults())
+    /// The canonical shared service of these tests: one exact engine
+    /// instance serving every session.
+    fn exact_service() -> Arc<dyn EngineService> {
+        ServiceCore::shared_adapter(ExactAdapter::with_defaults()).into_shared()
     }
 
     #[test]
     fn closed_loop_fleet_runs_every_session() {
         let ds = dataset(5_000);
         let out = FleetHarness::new(config(3))
-            .run_with(&ds, &mut exact_factory())
+            .run(&ds, exact_service())
             .unwrap();
         assert_eq!(out.sessions.len(), 3);
         for (i, s) in out.sessions.iter().enumerate() {
@@ -427,9 +467,7 @@ mod tests {
             .with_load(LoadModel::Open {
                 arrival_rate_per_s: 0.1,
             });
-        let out = FleetHarness::new(cfg)
-            .run_with(&ds, &mut exact_factory())
-            .unwrap();
+        let out = FleetHarness::new(cfg).run(&ds, exact_service()).unwrap();
         assert!(
             out.cache.hits > 0,
             "replayed workflows behind a stagger must share results: {:?}",
@@ -452,7 +490,7 @@ mod tests {
         // would).
         let ds = dataset(5_000);
         let out = FleetHarness::new(config(2).with_shared_workflow(true))
-            .run_with(&ds, &mut exact_factory())
+            .run(&ds, exact_service())
             .unwrap();
         assert_eq!(
             out.sessions[0].cache, out.sessions[1].cache,
@@ -493,7 +531,7 @@ mod tests {
         });
         let h = FleetHarness::new(cfg);
         let arrivals = h.arrivals();
-        let out = h.run_with(&ds, &mut exact_factory()).unwrap();
+        let out = h.run(&ds, exact_service()).unwrap();
         for (s, a) in out.sessions.iter().zip(&arrivals) {
             assert_eq!(s.arrival_ms, *a);
         }
@@ -507,9 +545,7 @@ mod tests {
         for workers in [1usize, 2, 8] {
             let mut cfg = config(2);
             cfg.settings = cfg.settings.with_workers(workers);
-            let out = FleetHarness::new(cfg)
-                .run_with(&ds, &mut exact_factory())
-                .unwrap();
+            let out = FleetHarness::new(cfg).run(&ds, exact_service()).unwrap();
             let shape: Vec<(f64, f64, bool)> = out
                 .sessions
                 .iter()

@@ -93,7 +93,7 @@ pub struct FleetReport {
 /// the lock) inserts an identical value — harmless.
 struct SharedGroundTruth<'a> {
     dataset: &'a Dataset,
-    cache: Mutex<FxHashMap<String, AggResult>>,
+    cache: Mutex<FxHashMap<std::sync::Arc<str>, AggResult>>,
 }
 
 struct SharedGtHandle<'a, 'b>(&'b SharedGroundTruth<'a>);
@@ -303,7 +303,7 @@ mod tests {
         )
         .with_workflow(WorkflowType::Mixed, 6);
         FleetHarness::new(cfg)
-            .run_with(dataset, &mut |_| Box::new(ExactAdapter::with_defaults()))
+            .run_with(dataset, |_| Box::new(ExactAdapter::with_defaults()))
             .unwrap()
     }
 

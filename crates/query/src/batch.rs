@@ -2,7 +2,7 @@
 //!
 //! Execution processes fixed-size morsels (`MORSEL` rows). Per morsel:
 //!
-//! 1. the filter tree is evaluated into a bitmask ([`Mask`]) by typed
+//! 1. the filter tree is evaluated into a bitmask (`Mask`) by typed
 //!    kernels — one `match` on column type per *morsel*, not per row;
 //! 2. bin slots (dense) or bin keys (sparse) are computed for all rows;
 //! 3. matching rows are folded into the accumulator in bulk.

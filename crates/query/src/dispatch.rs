@@ -3,7 +3,7 @@
 //! [`MorselDispatcher`] partitions a scan's row range (by *scan position*,
 //! so shuffled orders chunk identically) into fixed [`CHUNK_ROWS`]-sized
 //! chunks and fans chunks out over the persistent [`crate::pool::ScanPool`].
-//! Each chunk accumulates into its own [`BatchAcc`] partial — workers never
+//! Each chunk accumulates into its own `BatchAcc` partial — workers never
 //! share an accumulator — and completed partials are folded into a base
 //! accumulator **in chunk order**, whichever worker finishes first.
 //!

@@ -1,20 +1,24 @@
-//! Concurrent sessions: a closed-loop 8-analyst fleet on the flights data.
+//! Concurrent sessions: a closed-loop 8-analyst fleet on one shared
+//! engine service.
 //!
 //! ```sh
 //! cargo run --release --example concurrent_sessions
 //! ```
 //!
 //! Eight simulated analysts (one Markov-generated mixed workflow each,
-//! seeded per session) explore the same immutable flights dataset at once.
-//! Their scans share the persistent worker pool, their completed exact
-//! results flow through the cross-session semantic cache, and the merged
-//! fleet report shows service-level numbers the single-analyst benchmark
-//! cannot: throughput across sessions, fleet-wide latency percentiles, and
-//! per-session cache traffic.
+//! seeded per session) explore the same immutable flights dataset at once —
+//! all through **one `Arc<dyn EngineService>`**: the sessions own no engine
+//! state; they submit deadline-tagged query tickets under their session id
+//! and the service's scheduler multiplexes the work. Their scans share the
+//! persistent worker pool, their completed exact results flow through the
+//! cross-session semantic cache, and the merged fleet report shows
+//! service-level numbers the single-analyst benchmark cannot: throughput
+//! across sessions, fleet-wide latency percentiles, and per-session cache
+//! traffic.
 
 use idebench::fleet::{FleetConfig, FleetHarness, FleetReport};
 use idebench::prelude::*;
-use idebench_workflow::WorkflowType;
+use idebench::workflow::WorkflowType;
 use std::sync::Arc;
 
 fn main() {
@@ -31,8 +35,8 @@ fn main() {
     let config = FleetConfig::new(settings.clone(), 8).with_workflow(WorkflowType::Mixed, 12);
     let harness = FleetHarness::new(config);
 
-    // Each session gets its own engine instance and a derived seed; the
-    // dataset, scan pool, and semantic cache are the shared services.
+    // Each session gets a derived seed and an independent workflow; the
+    // engine service, dataset, scan pool, and semantic cache are shared.
     for i in 0..8u64 {
         println!(
             "session {i}: seed {} -> workflow {}",
@@ -41,11 +45,12 @@ fn main() {
         );
     }
 
-    let outcome = harness
-        .run_with(&dataset, &mut |_| {
-            Box::new(idebench::engine_exact::ExactAdapter::with_defaults())
-        })
-        .expect("fleet runs");
+    // ONE engine instance serves the whole fleet: `into_service()` hosts
+    // the exact adapter behind the shared `EngineService` scheduler.
+    let service = idebench::engine_exact::ExactAdapter::with_defaults()
+        .into_service()
+        .into_shared();
+    let outcome = harness.run(&dataset, service).expect("fleet runs");
 
     // Evaluate against (shared, deduplicated) ground truth and print the
     // fleet summary.

@@ -13,11 +13,16 @@ fn dataset() -> Dataset {
     Dataset::Denormalized(Arc::new(idebench::datagen::flights::generate(30_000, 42)))
 }
 
+/// One shared exact-engine service, as every fleet run uses it.
+fn exact_service() -> std::sync::Arc<dyn idebench::core::EngineService> {
+    idebench::engine_exact::ExactAdapter::with_defaults()
+        .into_service()
+        .into_shared()
+}
+
 fn fleet_report_json(dataset: &Dataset, config: FleetConfig) -> String {
     let outcome = FleetHarness::new(config)
-        .run_with(dataset, &mut |_| {
-            Box::new(idebench::engine_exact::ExactAdapter::with_defaults())
-        })
+        .run(dataset, exact_service())
         .expect("fleet runs");
     FleetReport::evaluate(&outcome, dataset).to_json()
 }
@@ -96,13 +101,7 @@ fn shared_dashboard_records_cross_session_hits_deterministically() {
             arrival_rate_per_s: 0.05,
         })
     };
-    let run = |c: FleetConfig| {
-        FleetHarness::new(c)
-            .run_with(&ds, &mut |_| {
-                Box::new(idebench::engine_exact::ExactAdapter::with_defaults())
-            })
-            .unwrap()
-    };
+    let run = |c: FleetConfig| FleetHarness::new(c).run(&ds, exact_service()).unwrap();
     let a = run(cfg());
     let b = run(cfg());
     assert!(

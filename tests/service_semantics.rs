@@ -1,0 +1,229 @@
+//! Shared-service semantics: the `EngineService` redesign must not change
+//! a single measured bit relative to the pre-redesign driver path, and its
+//! new behaviour — cooperative cancellation — must hold under real engines.
+//!
+//! - A differential proptest pins the service path's reports bit-identical
+//!   to the legacy `SystemAdapter` driver path, for every engine and
+//!   across scan worker counts {1, 2, 8}.
+//! - Cancellation tests pin the supersede rule end to end: a superseded
+//!   viz query is revoked before completion, consumes no further work
+//!   units, and never surfaces a stale snapshot.
+
+use idebench::core::{
+    BenchmarkDriver, EngineService, QueryOptions, ServiceCore, Settings, SystemAdapter,
+};
+use idebench::engine_cache::{CacheConfig, CachingAdapter};
+use idebench::engine_exact::ExactAdapter;
+use idebench::engine_progressive::{ProgressiveAdapter, ProgressiveConfig};
+use idebench::engine_stratified::StratifiedAdapter;
+use idebench::engine_wander::WanderAdapter;
+use idebench::prelude::*;
+use idebench::workflow::{WorkflowGenerator, WorkflowType};
+use idebench_core::spec::{AggregateSpec, BinDef, VizSpec};
+use idebench_core::{ExecutionMode, Query, WorkflowOutcome};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dataset() -> Dataset {
+    Dataset::Denormalized(Arc::new(idebench::datagen::flights::generate(20_000, 42)))
+}
+
+/// One engine in both worlds: its report name, a fresh legacy adapter, and
+/// a fresh shared service hosting the same engine configuration.
+type EngineUnderTest = (&'static str, Box<dyn SystemAdapter>, Arc<dyn EngineService>);
+
+fn engines() -> Vec<EngineUnderTest> {
+    vec![
+        (
+            "exact",
+            Box::new(ExactAdapter::with_defaults()) as Box<dyn SystemAdapter>,
+            ExactAdapter::with_defaults().into_service().into_shared(),
+        ),
+        (
+            "wander",
+            Box::new(WanderAdapter::with_defaults()),
+            WanderAdapter::with_defaults().into_service().into_shared(),
+        ),
+        (
+            "stratified",
+            Box::new(StratifiedAdapter::with_defaults()),
+            StratifiedAdapter::with_defaults()
+                .into_service()
+                .into_shared(),
+        ),
+        (
+            "progressive",
+            Box::new(ProgressiveAdapter::with_defaults()),
+            Arc::new(ProgressiveAdapter::service(ProgressiveConfig::default())),
+        ),
+        (
+            "cache+exact",
+            Box::new(CachingAdapter::with_defaults(ExactAdapter::with_defaults())),
+            Arc::new(CachingAdapter::service(CacheConfig::default(), |_| {
+                ExactAdapter::with_defaults()
+            })),
+        ),
+    ]
+}
+
+/// A bit-exact fingerprint of everything a run measured: timing, TR
+/// verdicts, and the full result payloads (serialized, so every bin and
+/// every float participates).
+fn fingerprint(outcome: &WorkflowOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "total={} prep={:?}", outcome.total_ms, outcome.prep);
+    for m in &outcome.query_results {
+        let result = m
+            .result
+            .as_ref()
+            .map(|r| serde_json::to_string(r).expect("results serialize"))
+            .unwrap_or_else(|| "none".into());
+        let _ = writeln!(
+            out,
+            "{}|{}|{}|{}|{}|{}|{}|{}",
+            m.query_id,
+            m.interaction_id,
+            m.viz_name,
+            m.start_ms,
+            m.end_ms,
+            m.tr_violated,
+            m.concurrent,
+            result
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// For every engine: the `EngineService` path reproduces the
+    /// pre-redesign driver path bit for bit, and stays bit-identical
+    /// across scan worker counts {1, 2, 8}.
+    #[test]
+    fn service_path_is_bit_identical_to_legacy_driver(seed in 0u64..1_000) {
+        let ds = dataset();
+        let workflow = WorkflowGenerator::new(WorkflowType::Mixed, seed).generate(8);
+        for (name, _, _) in engines() {
+            let mut reference: Option<String> = None;
+            for workers in [1usize, 2, 8] {
+                let settings = Settings::default()
+                    .with_time_requirement_ms(100)
+                    .with_think_time_ms(50)
+                    .with_seed(seed)
+                    .with_workers(workers)
+                    .with_execution(ExecutionMode::Virtual { work_rate: 1e5 });
+                let driver = BenchmarkDriver::new(settings);
+                // Fresh engine state per run, matching how experiment
+                // sweeps restart systems between cells.
+                let (_, mut adapter, service) = engines()
+                    .into_iter()
+                    .find(|(n, _, _)| *n == name)
+                    .expect("engine exists");
+                let legacy = driver
+                    .run_workflow(adapter.as_mut(), &ds, &workflow)
+                    .expect("legacy path runs");
+                let serviced = driver
+                    .run_workflow_service(service.as_ref(), &ds, &workflow)
+                    .expect("service path runs");
+                let legacy_fp = fingerprint(&legacy);
+                prop_assert_eq!(
+                    &legacy_fp,
+                    &fingerprint(&serviced),
+                    "engine {} diverged between paths at workers={}",
+                    name,
+                    workers
+                );
+                match &reference {
+                    None => reference = Some(legacy_fp),
+                    Some(r) => prop_assert_eq!(
+                        r,
+                        &legacy_fp,
+                        "engine {} diverged across worker counts at workers={}",
+                        name,
+                        workers
+                    ),
+                }
+            }
+        }
+    }
+}
+
+fn carrier_query(viz: &str) -> Query {
+    let spec = VizSpec::new(
+        viz,
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::count()],
+    );
+    Query::for_viz(&spec, None)
+}
+
+/// The supersede rule, end to end over a real progressive engine: the
+/// revoked ticket stops consuming units and suppresses its (partial, would-
+/// be-stale) snapshot, while the superseding query runs to completion.
+#[test]
+fn superseded_query_is_revoked_without_stale_snapshot() {
+    let ds = dataset();
+    let svc = ProgressiveAdapter::service(ProgressiveConfig {
+        first_query_warmup_s: 0.0,
+        enable_reuse: false,
+        ..ProgressiveConfig::default()
+    });
+    svc.open_session(0, &ds, &Settings::default()).unwrap();
+
+    let stale = svc.submit(
+        &carrier_query("viz_a"),
+        QueryOptions::for_session(0).with_step_quantum(2_000),
+    );
+    stale.pump();
+    let spent_at_revocation = stale.spent_units();
+    assert!(spent_at_revocation > 0, "made real progress");
+    assert!(!stale.is_settled(), "still mid-flight");
+    assert!(
+        stale.snapshot().is_some(),
+        "a live progressive run has a partial snapshot"
+    );
+
+    // The analyst changes the filter on the same viz: new query supersedes.
+    let fresh = svc.submit(
+        &carrier_query("viz_a"),
+        QueryOptions::for_session(0).with_step_quantum(2_000),
+    );
+
+    // Revoked before completion...
+    assert!(stale.status().is_revoked());
+    // ...never surfaces a stale snapshot...
+    assert!(stale.snapshot().is_none());
+    // ...and consumes no further units while the replacement runs.
+    assert!(fresh.drive().is_done());
+    assert_eq!(stale.spent_units(), spent_at_revocation);
+    assert!(fresh.snapshot().is_some());
+}
+
+/// Revocation scopes: only the same (session, viz) pair supersedes — other
+/// vizs and other sessions are untouched.
+#[test]
+fn revocation_is_scoped_to_session_and_viz() {
+    let ds = dataset();
+    let svc = ServiceCore::shared_adapter(ExactAdapter::with_defaults()).into_shared();
+    svc.open_session(0, &ds, &Settings::default()).unwrap();
+    svc.open_session(1, &ds, &Settings::default()).unwrap();
+
+    let q = |viz: &str| carrier_query(viz);
+    let o = |s: u64| QueryOptions::for_session(s).with_step_quantum(1_000);
+    let s0_a = svc.submit(&q("viz_a"), o(0));
+    let s0_b = svc.submit(&q("viz_b"), o(0));
+    let s1_a = svc.submit(&q("viz_a"), o(1));
+    let replacement = svc.submit(&q("viz_a"), o(0));
+
+    assert!(s0_a.status().is_revoked(), "same session+viz superseded");
+    assert!(!s0_b.is_settled(), "other viz untouched");
+    assert!(!s1_a.is_settled(), "other session untouched");
+    assert!(replacement.drive().is_done());
+    assert!(s0_b.drive().is_done());
+    assert!(s1_a.drive().is_done());
+}
