@@ -1,17 +1,20 @@
 //! Scan-throughput benchmark: emits `BENCH_scan.json` with rows/sec for the
 //! vectorized execution core on the paper's canonical scan shapes, plus the
-//! retained scalar reference path for the speedup ratio, and per-worker-
-//! count scaling rows for the parallel morsel dispatcher.
+//! retained scalar reference path for the speedup ratio, per-worker-count
+//! scaling rows for the parallel morsel dispatcher, and star-schema join
+//! cases comparing the devirtualized join layer against the pre-cache
+//! per-row FK-indirection path ([`JoinPolicy::Indirect`]).
 //!
 //! Doubles as the CI regression gate: the process exits non-zero if any
-//! vectorized case drops below 1× the scalar path (set
-//! `IDEBENCH_BENCH_NO_GATE=1` to disable when exploring).
+//! vectorized case drops below 1× the scalar path, or any star-join case
+//! below 1× the FK-indirection path (set `IDEBENCH_BENCH_NO_GATE=1` to
+//! disable when exploring).
 
 use idebench_core::spec::{AggFunc, AggregateSpec, BinDef};
 use idebench_core::{FilterExpr, Predicate, Query, VizSpec};
 use idebench_query::{
-    available_workers, execute_exact, execute_exact_parallel, execute_exact_scalar, AccMode,
-    CompiledPlan,
+    available_workers, execute_exact, execute_exact_parallel, execute_exact_scalar,
+    execute_exact_with_policy, AccMode, CompiledPlan, JoinPolicy,
 };
 use idebench_storage::Dataset;
 use std::sync::Arc;
@@ -121,8 +124,45 @@ fn dense_bucketed_2d() -> Query {
     Query::for_viz(&spec, None)
 }
 
+/// 1D nominal binning reached through a foreign key (star schema).
+fn star_1d_nominal_via_fk() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![BinDef::Nominal {
+            dimension: "carrier".into(),
+        }],
+        vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+    );
+    Query::for_viz(&spec, None)
+}
+
+/// 2D joined×joined dense aggregation: both binning dimensions live in
+/// dimension tables, so the pre-cache path pays the FK indirection twice
+/// per row — the shape the join-devirtualization layer targets. COUNT
+/// keeps the case join-bound (measure-update cost is identical on every
+/// path; the 1D case covers measures next to joins).
+fn star_joined_2d_agg() -> Query {
+    let spec = VizSpec::new(
+        "bench",
+        "flights",
+        vec![
+            BinDef::Nominal {
+                dimension: "carrier".into(),
+            },
+            BinDef::Nominal {
+                dimension: "origin_state".into(),
+            },
+        ],
+        vec![AggregateSpec::count()],
+    );
+    Query::for_viz(&spec, None)
+}
+
 fn main() {
-    let ds = Dataset::Denormalized(Arc::new(idebench_datagen::flights::generate(ROWS, 42)));
+    let table = idebench_datagen::flights::generate(ROWS, 42);
+    let ds = Dataset::Denormalized(Arc::new(table.clone()));
+    let star = idebench_datagen::normalize_flights(&table).expect("flights normalize");
 
     let cases: [(&str, Query); 4] = [
         ("exact_scan_1d_nominal_count", exact_scan()),
@@ -164,6 +204,64 @@ fn main() {
             "speedup": speedup,
         }));
     }
+
+    // Star-schema join cases: the devirtualized join layer (shared
+    // fact-ordered materializations + staged-FK translation) against the
+    // pre-cache per-row FK-indirection path on the same normalized data.
+    // Results are asserted bit-identical across the three paths first.
+    let star_cases: [(&str, Query); 2] = [
+        ("star_1d_nominal_via_fk", star_1d_nominal_via_fk()),
+        ("star_joined_2d_agg", star_joined_2d_agg()),
+    ];
+    for (name, q) in &star_cases {
+        let plan = CompiledPlan::compile(&star, q).expect("star bench query compiles");
+        let dense = matches!(plan.acc_mode(), AccMode::Dense(_));
+        let scalar_ref = execute_exact_scalar(&star, q).unwrap();
+        assert_eq!(
+            execute_exact(&star, q).unwrap(),
+            scalar_ref,
+            "devirtualized star path must agree with scalar on {name}"
+        );
+        assert_eq!(
+            execute_exact_with_policy(&star, q, 1, JoinPolicy::Indirect).unwrap(),
+            scalar_ref,
+            "indirect star path must agree with scalar on {name}"
+        );
+        let devirt_rps = time_rows_per_sec(ROWS, || {
+            let _ = execute_exact(&star, q).unwrap();
+        });
+        let indirect_rps = time_rows_per_sec(ROWS, || {
+            let _ = execute_exact_with_policy(&star, q, 1, JoinPolicy::Indirect).unwrap();
+        });
+        let scalar_rps = time_rows_per_sec(ROWS, || {
+            let _ = execute_exact_scalar(&star, q).unwrap();
+        });
+        let vs_indirect = devirt_rps / indirect_rps;
+        let vs_scalar = devirt_rps / scalar_rps;
+        println!(
+            "{name:<32} devirtualized {devirt_rps:>11.0} rows/s   fk-indirect {indirect_rps:>11.0} rows/s   speedup {vs_indirect:.2}x (vs scalar {vs_scalar:.2}x)   {}",
+            if dense { "dense" } else { "sparse" }
+        );
+        if vs_indirect < 1.0 {
+            regressions.push(format!("{name}: {vs_indirect:.2}x vs fk-indirect"));
+        }
+        entries.push(serde_json::json!({
+            "case": name,
+            "rows": ROWS,
+            "dense": dense,
+            "joined": true,
+            "vectorized_rows_per_sec": devirt_rps,
+            "indirect_rows_per_sec": indirect_rps,
+            "scalar_rows_per_sec": scalar_rps,
+            "speedup": vs_scalar,
+            "speedup_vs_indirect": vs_indirect,
+        }));
+    }
+    let join_stats = star.as_star().unwrap().join_cache_stats();
+    println!(
+        "join cache: {} materializations, {} bytes, {} hits",
+        join_stats.entries, join_stats.bytes, join_stats.hits
+    );
 
     // Worker-scaling rows on the unfiltered count scan: rows/sec per worker
     // count, speedups relative to the single-worker vectorized baseline
@@ -225,6 +323,11 @@ fn main() {
         "benchmark": "scan",
         "available_cores": cores,
         "scaling_note": scaling_note,
+        "join_cache": {
+            "materializations": join_stats.entries,
+            "bytes": join_stats.bytes,
+            "hits": join_stats.hits,
+        },
         "cases": entries,
         "scaling": scaling,
     });

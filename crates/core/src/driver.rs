@@ -607,18 +607,23 @@ pub fn resolve_count_binnings(
     dataset: &Dataset,
     ranges: &mut ColumnRanges,
 ) -> Result<(), CoreError> {
-    for bin in &mut query.binning {
-        if let BinDef::Count { dimension, bins } = bin {
-            let (min, max) = ranges.min_max(dataset, dimension)?;
-            let nbins = (*bins).max(1) as f64;
+    for idx in 0..query.binning().len() {
+        if let BinDef::Count { dimension, bins } = query.binning()[idx].clone() {
+            let (min, max) = ranges.min_max(dataset, &dimension)?;
+            let nbins = bins.max(1) as f64;
             // Widen slightly so max falls inside the last bin rather than
             // spilling into bin `bins`.
             let width = ((max - min) / nbins).max(f64::MIN_POSITIVE) * (1.0 + 1e-12);
-            *bin = BinDef::Width {
-                dimension: dimension.clone(),
-                width,
-                anchor: min,
-            };
+            // Through the invalidating setter: the rewrite must also drop
+            // any canonical-key memo already read off the unresolved query.
+            query.set_bin(
+                idx,
+                BinDef::Width {
+                    dimension,
+                    width,
+                    anchor: min,
+                },
+            );
         }
     }
     Ok(())
@@ -939,7 +944,7 @@ mod tests {
             )
             .unwrap();
         let q = &out.query_results[0].query;
-        match &q.binning[0] {
+        match &q.binning()[0] {
             BinDef::Width { width, anchor, .. } => {
                 // data is 0..9 → min 0, max 9, 3 bins ⇒ width 3.
                 assert!((anchor - 0.0).abs() < 1e-9);

@@ -19,24 +19,29 @@ use std::sync::{Arc, OnceLock};
 /// fleet's cross-session semantic cache, ground-truth memoization, the
 /// progressive engine's reuse store — all look queries up by key, and
 /// re-serializing the binning/aggregate/filter trees to JSON on every
-/// lookup dominated their cost. The memo is invisible to the public field
-/// API, but it makes post-construction mutation a two-phase contract:
-/// build the query, mutate its `pub` fields freely (the driver resolves
-/// count-binnings in place, the progressive engine composes speculative
-/// filters), and only then read the key. Cloning resets the memo, so a
-/// clone-then-mutate never inherits a stale key.
+/// lookup dominated their cost.
+///
+/// The memo must never outlive the fields it was computed from: a key read
+/// before an in-place mutation would otherwise poison every fingerprint
+/// keyed cache downstream (the semantic cache could serve a *different
+/// query's* result). The fields are therefore private: reads go through
+/// the accessors ([`Query::binning`], [`Query::filter`], …) and every
+/// mutation goes through an invalidating setter ([`Query::set_filter`],
+/// [`Query::compose_filter`], [`Query::set_bin`]) that drops the memo —
+/// the stale-key bug is unrepresentable outside this module. Cloning also
+/// resets the memo, so a clone-then-mutate never inherits a stale key.
 #[derive(Debug)]
 pub struct Query {
     /// Name of the visualization this query refreshes.
-    pub viz_name: String,
+    viz_name: String,
     /// Source table name.
-    pub source: String,
+    source: String,
     /// Binning definitions (1 or 2).
-    pub binning: Vec<BinDef>,
+    binning: Vec<BinDef>,
     /// Aggregates per bin.
-    pub aggregates: Vec<AggregateSpec>,
+    aggregates: Vec<AggregateSpec>,
     /// Composed filter, if any.
-    pub filter: Option<FilterExpr>,
+    filter: Option<FilterExpr>,
     /// Lazily computed canonical key (see the type-level docs).
     key: OnceLock<Arc<str>>,
 }
@@ -110,14 +115,92 @@ impl Query {
         }
     }
 
+    /// Builds a query from its parts (an already-composed filter included).
+    pub fn new(
+        viz_name: impl Into<String>,
+        source: impl Into<String>,
+        binning: Vec<BinDef>,
+        aggregates: Vec<AggregateSpec>,
+        filter: Option<FilterExpr>,
+    ) -> Self {
+        Query {
+            viz_name: viz_name.into(),
+            source: source.into(),
+            binning,
+            aggregates,
+            filter,
+            key: OnceLock::new(),
+        }
+    }
+
+    /// Name of the visualization this query refreshes.
+    pub fn viz_name(&self) -> &str {
+        &self.viz_name
+    }
+
+    /// Source table name.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Binning definitions (1 or 2).
+    pub fn binning(&self) -> &[BinDef] {
+        &self.binning
+    }
+
+    /// Aggregates computed per bin.
+    pub fn aggregates(&self) -> &[AggregateSpec] {
+        &self.aggregates
+    }
+
+    /// The composed filter, if any.
+    pub fn filter(&self) -> Option<&FilterExpr> {
+        self.filter.as_ref()
+    }
+
+    /// Renames the viz this query refreshes. The viz name is deliberately
+    /// *not* part of the canonical key, so this never touches the memo.
+    pub fn set_viz_name(&mut self, name: impl Into<String>) {
+        self.viz_name = name.into();
+    }
+
+    /// Replaces the composed filter, invalidating the canonical-key memo.
+    pub fn set_filter(&mut self, filter: Option<FilterExpr>) {
+        self.filter = filter;
+        self.invalidate_key();
+    }
+
+    /// AND-composes `extra` onto the existing filter (the progressive
+    /// engine's speculative-selection pattern), invalidating the memo.
+    pub fn compose_filter(&mut self, extra: FilterExpr) {
+        self.filter = Some(FilterExpr::and_opt(self.filter.take(), extra));
+        self.invalidate_key();
+    }
+
+    /// Replaces binning definition `idx` (the driver's count→width
+    /// resolution), invalidating the memo.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn set_bin(&mut self, idx: usize, def: BinDef) {
+        self.binning[idx] = def;
+        self.invalidate_key();
+    }
+
+    /// Drops the memoized canonical key (every semantic setter ends here).
+    fn invalidate_key(&mut self) {
+        self.key = OnceLock::new();
+    }
+
     /// A canonical, human-readable key identifying the *semantics* of the
     /// query (binning + aggregates + filter + source), independent of which
     /// viz or interaction issued it. Used for ground-truth caching and
     /// result reuse.
     ///
     /// Computed once per query value and memoized (cheap `Arc` share on
-    /// every further call); see the type-level docs for the
-    /// mutate-before-first-read contract.
+    /// every further call); the invalidating setters ([`Self::set_filter`],
+    /// [`Self::compose_filter`], [`Self::set_bin`]) keep the memo honest
+    /// across in-place mutation — see the type-level docs.
     pub fn canonical_key(&self) -> Arc<str> {
         Arc::clone(self.key.get_or_init(|| {
             // serde_json's field ordering is declaration order, which is
@@ -225,10 +308,52 @@ mod tests {
         // clone — the speculative-query pattern. The clone must produce a
         // fresh key, not the original's.
         let mut q2 = q1.clone();
-        q2.filter = Some(range("distance", 0.0, 500.0));
+        q2.set_filter(Some(range("distance", 0.0, 500.0)));
         let k2 = q2.canonical_key();
         assert_ne!(k1, k2);
         assert_eq!(q1.canonical_key(), k1);
+    }
+
+    #[test]
+    fn mutation_after_key_read_yields_the_fresh_key() {
+        // Regression: queries are composed in place after construction (the
+        // driver resolves count-binnings, the progressive engine composes
+        // speculative filters). A canonical key read *before* such a
+        // mutation must not survive it — a stale memo here poisons every
+        // fingerprint-keyed cache downstream. With private fields, every
+        // mutation path runs through these invalidating setters.
+        let mut q = Query::for_viz(&viz(), None);
+        let stale_key = q.canonical_key();
+        let stale_fp = q.fingerprint();
+
+        q.compose_filter(range("distance", 0.0, 500.0));
+        let fresh = Query::for_viz(&viz(), Some(range("distance", 0.0, 500.0)));
+        assert_ne!(q.canonical_key(), stale_key, "memo invalidated");
+        assert_ne!(q.fingerprint(), stale_fp);
+        assert_eq!(q.canonical_key(), fresh.canonical_key());
+        assert_eq!(q.fingerprint(), fresh.fingerprint());
+
+        // set_filter and set_bin invalidate too.
+        let _ = q.canonical_key();
+        q.set_filter(None);
+        assert_eq!(q.canonical_key(), stale_key, "back to the unfiltered key");
+        let _ = q.canonical_key();
+        q.set_bin(
+            0,
+            BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 5.0,
+                anchor: 0.0,
+            },
+        );
+        assert_ne!(q.canonical_key(), stale_key);
+
+        // Renaming the viz never touches the memo — the name is
+        // deliberately not part of the key.
+        let before = q.canonical_key();
+        q.set_viz_name("renamed");
+        assert_eq!(q.viz_name(), "renamed");
+        assert!(Arc::ptr_eq(&before, &q.canonical_key()));
     }
 
     #[test]

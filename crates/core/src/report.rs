@@ -81,17 +81,17 @@ impl DetailedReport {
                 start_time: m.start_ms,
                 end_time: m.end_ms,
                 tr_violated: m.tr_violated,
-                bin_dims: m.query.binning.len(),
+                bin_dims: m.query.binning().len(),
                 binning_type: m
                     .query
-                    .binning
+                    .binning()
                     .iter()
                     .map(crate::spec::BinDef::kind_label)
                     .collect::<Vec<_>>()
                     .join(" "),
                 agg_type: m
                     .query
-                    .aggregates
+                    .aggregates()
                     .iter()
                     .map(|a| a.func.to_string())
                     .collect::<Vec<_>>()

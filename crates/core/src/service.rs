@@ -907,7 +907,7 @@ impl EngineService for ServiceCore {
 
     fn submit(&self, query: &Query, opts: QueryOptions) -> QueryTicket {
         let handle = self.backend.lock().unwrap().open_query(opts.session, query);
-        self.sched.admit(handle, query.viz_name.clone(), opts)
+        self.sched.admit(handle, query.viz_name().to_string(), opts)
     }
 
     fn revoke_superseded(&self, session: SessionId, viz_name: &str) {

@@ -153,13 +153,10 @@ impl SystemAdapter for ExactAdapter {
     }
 }
 
-/// Identity check used by all adapters' idempotent `prepare`.
+/// Identity check used by all adapters' idempotent `prepare` (thin alias
+/// of [`Dataset::ptr_eq`], kept for API compatibility).
 pub fn same_dataset(a: &Dataset, b: &Dataset) -> bool {
-    match (a, b) {
-        (Dataset::Denormalized(x), Dataset::Denormalized(y)) => std::sync::Arc::ptr_eq(x, y),
-        (Dataset::Star(x), Dataset::Star(y)) => std::sync::Arc::ptr_eq(x, y),
-        _ => false,
-    }
+    a.ptr_eq(b)
 }
 
 /// Total physical rows of a dataset (fact + dimensions), the unit of load

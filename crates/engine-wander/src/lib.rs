@@ -79,7 +79,8 @@ impl WanderConfig {
 
 /// Whether XDB can run this query with online aggregation.
 pub fn online_eligible(query: &Query) -> bool {
-    query.aggregates.len() == 1 && matches!(query.aggregates[0].func, AggFunc::Count | AggFunc::Sum)
+    query.aggregates().len() == 1
+        && matches!(query.aggregates()[0].func, AggFunc::Count | AggFunc::Sum)
 }
 
 /// The wander-join adapter ("wander" in reports).
@@ -134,7 +135,7 @@ impl SystemAdapter for WanderAdapter {
     fn prepare(&mut self, dataset: &Dataset, settings: &Settings) -> Result<PrepStats, CoreError> {
         self.workers = settings.effective_workers();
         if let Some(existing) = &self.dataset {
-            if same_dataset(existing, dataset) {
+            if existing.ptr_eq(dataset) {
                 self.z = settings.z_value();
                 self.report_interval_units =
                     settings.seconds_to_units(self.config.report_interval_s);
@@ -199,14 +200,6 @@ impl SystemAdapter for WanderAdapter {
             run.set_workers(self.workers);
             Box::new(BlockingHandle { run })
         }
-    }
-}
-
-fn same_dataset(a: &Dataset, b: &Dataset) -> bool {
-    match (a, b) {
-        (Dataset::Denormalized(x), Dataset::Denormalized(y)) => Arc::ptr_eq(x, y),
-        (Dataset::Star(x), Dataset::Star(y)) => Arc::ptr_eq(x, y),
-        _ => false,
     }
 }
 

@@ -270,13 +270,13 @@ impl EngineService for CachedEngineService {
         if let Some(hit) = self.cache.lookup(session, query) {
             // The supersede rule holds across layers: a hit answered here
             // still revokes any in-flight engine ticket for the same viz.
-            self.inner.revoke_superseded(opts.session, &query.viz_name);
+            self.inner.revoke_superseded(opts.session, query.viz_name());
             // Served instantly at zero work-unit cost, bit-identical to
             // re-execution (only exact completed results are admitted; the
             // `Arc` share defers the one deep copy to `snapshot()`).
             return self
                 .hits
-                .admit_settled(Some(hit), query.viz_name.clone(), opts);
+                .admit_settled(Some(hit), query.viz_name().to_string(), opts);
         }
         let ticket = self.inner.submit(query, opts);
         let cache = Arc::clone(&self.cache);

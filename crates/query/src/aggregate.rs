@@ -333,7 +333,7 @@ mod tests {
 
     fn run_all(ds: &Dataset, q: &Query) -> GroupedAcc {
         let resolved = ResolvedQuery::new(ds, q).unwrap();
-        let mut acc = GroupedAcc::for_query(&resolved, &q.aggregates);
+        let mut acc = GroupedAcc::for_query(&resolved, q.aggregates());
         for row in 0..resolved.num_rows {
             acc.process_row(&resolved, row);
         }
@@ -414,8 +414,8 @@ mod tests {
         let ds = dataset();
         let q = query();
         let resolved = ResolvedQuery::new(&ds, &q).unwrap();
-        let mut a = GroupedAcc::for_query(&resolved, &q.aggregates);
-        let mut b = GroupedAcc::for_query(&resolved, &q.aggregates);
+        let mut a = GroupedAcc::for_query(&resolved, q.aggregates());
+        let mut b = GroupedAcc::for_query(&resolved, q.aggregates());
         for row in 0..3 {
             a.process_row(&resolved, row);
         }

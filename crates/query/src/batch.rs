@@ -2,20 +2,32 @@
 //!
 //! Execution processes fixed-size morsels (`MORSEL` rows). Per morsel:
 //!
-//! 1. the filter tree is evaluated into a bitmask (`Mask`) by typed
+//! 1. the staged columns the *filter* reads are gathered into flat scratch
+//!    buffers — joined columns gather their foreign-key column **once**
+//!    per morsel and translate it through the plan's per-dimension join
+//!    caches, nullable columns fold their validity bitmap into a morsel
+//!    mask (see `crate::plan::StageSpec`);
+//! 2. the filter tree is evaluated into a bitmask (`Mask`) by typed
 //!    kernels — one `match` on column type per *morsel*, not per row;
-//! 2. bin slots (dense) or bin keys (sparse) are computed for all rows;
-//! 3. matching rows are folded into the accumulator in bulk.
+//! 3. the remaining staged (binning / measure) columns are gathered — a
+//!    morsel the filter fully rejects skips this phase entirely;
+//! 4. bin slots (dense) or bin keys (sparse) are computed for all rows;
+//! 5. matching rows are folded into the accumulator in bulk.
 //!
-//! The dense path exploits that an all-nominal binning has a bin space
-//! bounded by dictionary sizes: accumulators live in a flat array indexed by
+//! Every kernel consumes a `ColView`: flat slices (direct or staged) in
+//! all but the retained `Virtual` arm, so star-schema joins devirtualized
+//! by the planner run the same code as de-normalized columns. The dense
+//! path exploits that an all-nominal binning has a bin space bounded by
+//! dictionary sizes: accumulators live in a flat array indexed by
 //! `code0 + code1 * dict_len0`, replacing the per-row hash probe of the
 //! scalar reference path.
 
 use crate::aggregate::{BinAcc, GroupedAcc, MeasureAcc};
-use crate::plan::{AccMode, BoundColumn, CompiledPlan, PlannedDim, PlannedFilter};
+use crate::plan::{
+    AccMode, ColView, CompiledPlan, PlannedDim, PlannedFilter, StagePhases, StageSpec,
+};
 use idebench_core::{AggFunc, BinCoord, BinKey};
-use idebench_storage::ColumnSlice;
+use idebench_storage::{ColumnSlice, SelVec};
 use rustc_hash::FxHashMap;
 
 /// Rows per morsel. A multiple of 64 so morsel masks align with
@@ -98,17 +110,25 @@ impl RowSet for Gather<'_> {
 pub(crate) struct BoundPlan<'a> {
     filter: Option<BoundFilter<'a>>,
     dims: Vec<BoundDim<'a>>,
-    measures: Vec<Option<BoundColumn<'a>>>,
+    measures: Vec<Option<ColView<'a>>>,
+    /// Per-morsel staging instructions, parallel to the accumulator's
+    /// stage buffers.
+    stages: Vec<BoundStage<'a>>,
+    /// Distinct FK columns gathered once per morsel, parallel to the
+    /// accumulator's FK staging buffers.
+    fks: Vec<&'a [i64]>,
+    /// Filter-phase vs. post-filter-phase staging split.
+    phases: &'a StagePhases,
 }
 
 pub(crate) enum BoundFilter<'a> {
     Range {
-        col: BoundColumn<'a>,
+        col: ColView<'a>,
         min: f64,
         max: f64,
     },
     In {
-        col: BoundColumn<'a>,
+        col: ColView<'a>,
         member: &'a [bool],
     },
     And(Vec<BoundFilter<'a>>),
@@ -117,10 +137,12 @@ pub(crate) enum BoundFilter<'a> {
 
 enum BoundDim<'a> {
     Nominal {
-        col: BoundColumn<'a>,
+        col: ColView<'a>,
+        /// Dictionary size bounding this dimension's bin space (stride).
+        dict_len: u32,
     },
     Width {
-        col: BoundColumn<'a>,
+        col: ColView<'a>,
         width: f64,
         anchor: f64,
         /// `(lo, len)` of the bounded bucket space when the dimension was
@@ -129,16 +151,32 @@ enum BoundDim<'a> {
     },
 }
 
+/// A [`StageSpec`] bound to borrowed slices for one `advance`.
+enum BoundStage<'a> {
+    Own {
+        col: &'a idebench_storage::Column,
+    },
+    JoinCodes {
+        fk_slot: usize,
+        cache: &'a [u32],
+    },
+    JoinNum {
+        fk_slot: usize,
+        vals: &'a [f64],
+        valid: Option<&'a SelVec>,
+    },
+}
+
 impl PlannedFilter {
     pub(crate) fn bind(&self) -> BoundFilter<'_> {
         match self {
             PlannedFilter::Range { col, min, max } => BoundFilter::Range {
-                col: col.bind(),
+                col: col.view(),
                 min: *min,
                 max: *max,
             },
             PlannedFilter::In { col, member } => BoundFilter::In {
-                col: col.bind(),
+                col: col.view(),
                 member,
             },
             PlannedFilter::And(children) => {
@@ -161,14 +199,17 @@ impl CompiledPlan {
                 .dims
                 .iter()
                 .map(|d| match d {
-                    PlannedDim::Nominal { col, .. } => BoundDim::Nominal { col: col.bind() },
+                    PlannedDim::Nominal { col, dict_len } => BoundDim::Nominal {
+                        col: col.view(),
+                        dict_len: (*dict_len).max(1) as u32,
+                    },
                     PlannedDim::Width {
                         col,
                         width,
                         anchor,
                         dense,
                     } => BoundDim::Width {
-                        col: col.bind(),
+                        col: col.view(),
                         width: *width,
                         anchor: *anchor,
                         dense: dense.map(|d| (d.lo, d.len as u32)),
@@ -178,31 +219,211 @@ impl CompiledPlan {
             measures: self
                 .measures
                 .iter()
-                .map(|m| m.as_ref().map(|c| c.bind()))
+                .map(|m| m.as_ref().map(|c| c.view()))
                 .collect(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| match s {
+                    StageSpec::Own(col) => BoundStage::Own { col: col.get() },
+                    StageSpec::JoinCodes { fk_slot, cache } => BoundStage::JoinCodes {
+                        fk_slot: *fk_slot,
+                        cache,
+                    },
+                    StageSpec::JoinNum {
+                        fk_slot,
+                        vals,
+                        valid,
+                    } => BoundStage::JoinNum {
+                        fk_slot: *fk_slot,
+                        vals,
+                        valid: valid.as_ref(),
+                    },
+                })
+                .collect(),
+            fks: self
+                .fk_cols
+                .iter()
+                .map(|(t, i)| {
+                    t.column_at(*i)
+                        .as_int()
+                        .expect("fk column validated at compile time")
+                })
+                .collect(),
+            phases: &self.phases,
+        }
+    }
+}
+
+// -------------------------------------------------------------- staging
+
+/// Scratch buffer of one staged column for the current morsel: flat values
+/// (codes or numerics, whichever the column is) plus a validity mask.
+pub(crate) struct StageBuf {
+    codes: Vec<u32>,
+    nums: Vec<f64>,
+    mask: Mask,
+}
+
+impl StageBuf {
+    fn for_spec(spec: &StageSpec) -> StageBuf {
+        StageBuf {
+            codes: if spec.nominal() {
+                vec![0; MORSEL]
+            } else {
+                Vec::new()
+            },
+            nums: if spec.nominal() {
+                Vec::new()
+            } else {
+                vec![0.0; MORSEL]
+            },
+            mask: [0u64; WORDS],
+        }
+    }
+}
+
+/// Gathers the FK staging buffers named by `which` for one morsel — every
+/// joined column translating through an FK reads it from here, so each
+/// distinct FK column is gathered at most once per morsel.
+fn stage_fks<R: RowSet>(
+    bound: &BoundPlan<'_>,
+    rows: R,
+    fk_stage: &mut [Vec<u32>],
+    which: &[usize],
+) {
+    let n = rows.len();
+    for &slot in which {
+        let fk = bound.fks[slot];
+        let dst = &mut fk_stage[slot];
+        match rows.base() {
+            Some(base) => {
+                for (d, &k) in dst.iter_mut().zip(&fk[base..base + n]) {
+                    *d = k as u32;
+                }
+            }
+            None => {
+                for (i, d) in dst.iter_mut().enumerate().take(n) {
+                    *d = fk[rows.row(i)] as u32;
+                }
+            }
+        }
+    }
+}
+
+/// Fills the stage buffers named by `which` for one morsel. Stage buffers
+/// hold the staged value at each morsel *position* (null rows hold a
+/// placeholder and have their mask bit cleared).
+fn stage_cols<R: RowSet>(
+    bound: &BoundPlan<'_>,
+    rows: R,
+    fk_stage: &[Vec<u32>],
+    bufs: &mut [StageBuf],
+    which: &[usize],
+) {
+    let n = rows.len();
+    for &si in which {
+        let (spec, buf) = (&bound.stages[si], &mut bufs[si]);
+        buf.mask = [u64::MAX; WORDS];
+        mask_tail(&mut buf.mask, n);
+        match spec {
+            BoundStage::Own { col } => {
+                match col.typed() {
+                    ColumnSlice::F64(d) => match rows.base() {
+                        Some(base) => buf.nums[..n].copy_from_slice(&d[base..base + n]),
+                        None => {
+                            for (i, o) in buf.nums.iter_mut().enumerate().take(n) {
+                                *o = d[rows.row(i)];
+                            }
+                        }
+                    },
+                    ColumnSlice::I64(d) => {
+                        for (i, o) in buf.nums.iter_mut().enumerate().take(n) {
+                            *o = d[rows.row(i)] as f64;
+                        }
+                    }
+                    ColumnSlice::Codes(d, _) => match rows.base() {
+                        Some(base) => buf.codes[..n].copy_from_slice(&d[base..base + n]),
+                        None => {
+                            for (i, o) in buf.codes.iter_mut().enumerate().take(n) {
+                                *o = d[rows.row(i)];
+                            }
+                        }
+                    },
+                }
+                if let Some(v) = col.validity() {
+                    for i in 0..n {
+                        if !v.contains(rows.row(i)) {
+                            buf.mask[i / 64] &= !(1u64 << (i % 64));
+                        }
+                    }
+                }
+            }
+            BoundStage::JoinCodes { fk_slot, cache } => {
+                let fkb = &fk_stage[*fk_slot];
+                for (i, (o, &r)) in buf.codes.iter_mut().zip(&fkb[..n]).enumerate() {
+                    let c = cache[r as usize];
+                    if c == crate::plan::NULL_CODE {
+                        *o = 0;
+                        buf.mask[i / 64] &= !(1u64 << (i % 64));
+                    } else {
+                        *o = c;
+                    }
+                }
+            }
+            BoundStage::JoinNum {
+                fk_slot,
+                vals,
+                valid,
+            } => {
+                let fkb = &fk_stage[*fk_slot];
+                for (o, &r) in buf.nums.iter_mut().zip(&fkb[..n]) {
+                    *o = vals[r as usize];
+                }
+                if let Some(v) = valid {
+                    for (i, &r) in fkb[..n].iter().enumerate() {
+                        if !v.contains(r as usize) {
+                            buf.mask[i / 64] &= !(1u64 << (i % 64));
+                        }
+                    }
+                }
+            }
         }
     }
 }
 
 // -------------------------------------------------------------- kernels
 
+/// Clears every `out` bit whose staged-validity bit is unset.
+#[inline]
+fn and_mask(out: &mut Mask, mask: &Mask) {
+    for w in 0..WORDS {
+        out[w] &= mask[w];
+    }
+}
+
 /// Evaluates a filter tree over one morsel into `out` (bit = row matches).
 /// Null values never match, mirroring SQL WHERE semantics.
-pub(crate) fn eval_filter<R: RowSet>(f: &BoundFilter<'_>, rows: R, out: &mut Mask) {
+pub(crate) fn eval_filter<R: RowSet>(
+    f: &BoundFilter<'_>,
+    stages: &[StageBuf],
+    rows: R,
+    out: &mut Mask,
+) {
     let n = rows.len();
     match f {
         BoundFilter::Range { col, min, max } => {
-            range_mask(col, *min, *max, rows, out);
+            range_mask(*col, stages, *min, *max, rows, out);
         }
         BoundFilter::In { col, member } => {
-            in_mask(col, member, rows, out);
+            in_mask(*col, stages, member, rows, out);
         }
         BoundFilter::And(children) => {
             *out = [u64::MAX; WORDS];
             mask_tail(out, n);
             let mut tmp = [0u64; WORDS];
             for child in children {
-                eval_filter(child, rows, &mut tmp);
+                eval_filter(child, stages, rows, &mut tmp);
                 for w in 0..WORDS {
                     out[w] &= tmp[w];
                 }
@@ -212,7 +433,7 @@ pub(crate) fn eval_filter<R: RowSet>(f: &BoundFilter<'_>, rows: R, out: &mut Mas
             *out = [0u64; WORDS];
             let mut tmp = [0u64; WORDS];
             for child in children {
-                eval_filter(child, rows, &mut tmp);
+                eval_filter(child, stages, rows, &mut tmp);
                 for w in 0..WORDS {
                     out[w] |= tmp[w];
                 }
@@ -222,26 +443,43 @@ pub(crate) fn eval_filter<R: RowSet>(f: &BoundFilter<'_>, rows: R, out: &mut Mas
 }
 
 #[inline]
-fn range_mask<R: RowSet>(col: &BoundColumn<'_>, min: f64, max: f64, rows: R, out: &mut Mask) {
+fn range_mask<R: RowSet>(
+    col: ColView<'_>,
+    stages: &[StageBuf],
+    min: f64,
+    max: f64,
+    rows: R,
+    out: &mut Mask,
+) {
     let n = rows.len();
     *out = [0u64; WORDS];
-    match (col.data, col.fk, col.validity) {
-        // Fast path: direct float column, fully valid.
-        (ColumnSlice::F64(d), None, None) => {
+    // One monomorphized flat comparison loop per arm (no per-row dispatch).
+    macro_rules! cmp {
+        ($get:expr) => {{
+            let get = $get;
             for i in 0..n {
-                let v = d[rows.row(i)];
+                let v: f64 = get(i);
                 out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
             }
+        }};
+    }
+    match col {
+        ColView::F64(d) => cmp!(|i: usize| d[rows.row(i)]),
+        ColView::I64(d) => cmp!(|i: usize| d[rows.row(i)] as f64),
+        ColView::Codes(d) => cmp!(|i: usize| f64::from(d[rows.row(i)])),
+        ColView::StagedNum(s) => {
+            let b = &stages[s];
+            cmp!(|i: usize| b.nums[i]);
+            and_mask(out, &b.mask);
         }
-        (ColumnSlice::I64(d), None, None) => {
-            for i in 0..n {
-                let v = d[rows.row(i)] as f64;
-                out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
-            }
+        ColView::StagedCodes(s) => {
+            let b = &stages[s];
+            cmp!(|i: usize| f64::from(b.codes[i]));
+            and_mask(out, &b.mask);
         }
-        _ => {
+        ColView::Virtual(c) => {
             for i in 0..n {
-                if let Some(v) = col.numeric(rows.row(i)) {
+                if let Some(v) = c.numeric(rows.row(i)) {
                     out[i / 64] |= u64::from(v >= min && v < max) << (i % 64);
                 }
             }
@@ -250,12 +488,17 @@ fn range_mask<R: RowSet>(col: &BoundColumn<'_>, min: f64, max: f64, rows: R, out
 }
 
 #[inline]
-fn in_mask<R: RowSet>(col: &BoundColumn<'_>, member: &[bool], rows: R, out: &mut Mask) {
+fn in_mask<R: RowSet>(
+    col: ColView<'_>,
+    stages: &[StageBuf],
+    member: &[bool],
+    rows: R,
+    out: &mut Mask,
+) {
     let n = rows.len();
     *out = [0u64; WORDS];
-    match (col.data, col.fk, col.validity) {
-        // Fast path: direct code column, fully valid.
-        (ColumnSlice::Codes(d, _), None, None) => {
+    match col {
+        ColView::Codes(d) => {
             for i in 0..n {
                 let hit = member
                     .get(d[rows.row(i)] as usize)
@@ -264,75 +507,154 @@ fn in_mask<R: RowSet>(col: &BoundColumn<'_>, member: &[bool], rows: R, out: &mut
                 out[i / 64] |= u64::from(hit) << (i % 64);
             }
         }
-        _ => {
+        ColView::StagedCodes(s) => {
+            let b = &stages[s];
             for i in 0..n {
-                if let Some(code) = col.code(rows.row(i)) {
+                let hit = member.get(b.codes[i] as usize).copied().unwrap_or(false);
+                out[i / 64] |= u64::from(hit) << (i % 64);
+            }
+            and_mask(out, &b.mask);
+        }
+        ColView::Virtual(c) => {
+            for i in 0..n {
+                if let Some(code) = c.code(rows.row(i)) {
                     let hit = member.get(code as usize).copied().unwrap_or(false);
                     out[i / 64] |= u64::from(hit) << (i % 64);
                 }
             }
         }
+        // Numeric columns have no dictionary codes: nothing matches,
+        // mirroring the per-row accessor returning `None`.
+        ColView::F64(_) | ColView::I64(_) | ColView::StagedNum(_) => {}
     }
 }
 
 /// Computes dense bin slots for one morsel. Rows with a null binned value
 /// get their `valid` bit cleared.
-fn dense_slots<R: RowSet>(dims: &[BoundDim<'_>], rows: R, slots: &mut [u32], valid: &mut Mask) {
+fn dense_slots<R: RowSet>(
+    dims: &[BoundDim<'_>],
+    stages: &[StageBuf],
+    rows: R,
+    slots: &mut [u32],
+    valid: &mut Mask,
+) {
     let n = rows.len();
     *valid = [u64::MAX; WORDS];
     mask_tail(valid, n);
+
+    // Fused 2D fast path: two nominal dimensions whose codes are flat,
+    // position-indexable slices (contiguous natural-order scan over direct
+    // or staged codes) compute both coordinates in a single pass —
+    // `slot = c0 + c1 · stride` — instead of one slots-array round-trip per
+    // dimension. Devirtualized star joins land here, so a joined×joined
+    // binning slots exactly like a de-normalized one.
+    if let [BoundDim::Nominal {
+        col: c0,
+        dict_len: stride,
+    }, BoundDim::Nominal { col: c1, .. }] = dims
+    {
+        // Flat position-indexed codes for the morsel, plus the staged
+        // validity mask to fold into `valid`.
+        fn flat<'x, R: RowSet>(
+            col: &ColView<'x>,
+            stages: &'x [StageBuf],
+            rows: R,
+            n: usize,
+        ) -> Option<(&'x [u32], Option<&'x Mask>)> {
+            match *col {
+                ColView::Codes(d) => rows.base().map(|b| (&d[b..b + n], None)),
+                ColView::StagedCodes(s) => {
+                    let b = &stages[s];
+                    Some((&b.codes[..n], Some(&b.mask)))
+                }
+                _ => None,
+            }
+        }
+        if let (Some((s0, m0)), Some((s1, m1))) =
+            (flat(c0, stages, rows, n), flat(c1, stages, rows, n))
+        {
+            let stride = (*stride).max(1);
+            for (slot, (&a, &b)) in slots.iter_mut().zip(s0.iter().zip(s1)) {
+                *slot = a + b * stride;
+            }
+            if let Some(m) = m0 {
+                and_mask(valid, m);
+            }
+            if let Some(m) = m1 {
+                and_mask(valid, m);
+            }
+            return;
+        }
+    }
+
     let mut stride = 1u32;
     for (di, dim) in dims.iter().enumerate() {
+        // One monomorphized flat slotting loop per arm; staged-null rows
+        // carry a placeholder 0 and are cleared from `valid` via the mask.
+        macro_rules! slot_loop {
+            ($get:expr) => {{
+                let get = $get;
+                if di == 0 {
+                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                        *slot = get(i);
+                    }
+                } else {
+                    for (i, slot) in slots.iter_mut().enumerate().take(n) {
+                        *slot += get(i) * stride;
+                    }
+                }
+            }};
+        }
+        // Contiguous natural-order fast path over a flat source slice.
+        macro_rules! slot_span {
+            ($src:expr, $of:expr) => {{
+                let of = $of;
+                if di == 0 {
+                    for (slot, &v) in slots.iter_mut().zip($src) {
+                        *slot = of(v);
+                    }
+                } else {
+                    for (slot, &v) in slots.iter_mut().zip($src) {
+                        *slot += of(v) * stride;
+                    }
+                }
+            }};
+        }
         match dim {
-            BoundDim::Nominal { col } => match (col.data, col.fk, col.validity) {
-                (ColumnSlice::Codes(d, dict), None, None) => {
-                    match rows.base() {
-                        Some(base) => {
-                            let src = &d[base..base + n];
-                            if di == 0 {
-                                for (slot, &c) in slots.iter_mut().zip(src) {
-                                    *slot = c;
+            BoundDim::Nominal { col, dict_len } => {
+                let dict_len = *dict_len;
+                match *col {
+                    ColView::Codes(d) => match rows.base() {
+                        Some(base) => slot_span!(&d[base..base + n], |c| c),
+                        None => slot_loop!(|i: usize| d[rows.row(i)]),
+                    },
+                    ColView::StagedCodes(s) => {
+                        let b = &stages[s];
+                        and_mask(valid, &b.mask);
+                        slot_span!(&b.codes[..n], |c| c);
+                    }
+                    ColView::Virtual(c) => {
+                        for i in 0..n {
+                            match c.code(rows.row(i)) {
+                                Some(code) => {
+                                    if di == 0 {
+                                        slots[i] = code;
+                                    } else {
+                                        slots[i] += code * stride;
+                                    }
                                 }
-                            } else {
-                                for (slot, &c) in slots.iter_mut().zip(src) {
-                                    *slot += c * stride;
-                                }
-                            }
-                        }
-                        None => {
-                            if di == 0 {
-                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                                    *slot = d[rows.row(i)];
-                                }
-                            } else {
-                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                                    *slot += d[rows.row(i)] * stride;
-                                }
+                                None => valid[i / 64] &= !(1u64 << (i % 64)),
                             }
                         }
                     }
-                    stride *= dict.len().max(1) as u32;
+                    // Compilation rejects nominal binning over non-nominal
+                    // columns, and staged/direct views preserve the type.
+                    ColView::F64(_) | ColView::I64(_) | ColView::StagedNum(_) => {
+                        unreachable!("nominal binning compiled over a non-nominal column")
+                    }
                 }
-                _ => {
-                    let mut dict_len = 0u32;
-                    for i in 0..n {
-                        match col.code(rows.row(i)) {
-                            Some(code) => {
-                                if di == 0 {
-                                    slots[i] = code;
-                                } else {
-                                    slots[i] += code * stride;
-                                }
-                            }
-                            None => valid[i / 64] &= !(1u64 << (i % 64)),
-                        }
-                    }
-                    if let ColumnSlice::Codes(_, dict) = col.data {
-                        dict_len = dict.len().max(1) as u32;
-                    }
-                    stride *= dict_len.max(1);
-                }
-            },
+                stride *= dict_len.max(1);
+            }
             BoundDim::Width {
                 col,
                 width,
@@ -357,36 +679,28 @@ fn dense_slots<R: RowSet>(dims: &[BoundDim<'_>], rows: R, slots: &mut [u32], val
                     let fl = if t > q { t - 1.0 } else { t };
                     (fl - lo_f).clamp(0.0, top) as u32
                 };
-                match (col.data, col.fk, col.validity) {
-                    // Fast path: direct float column, fully valid.
-                    (ColumnSlice::F64(d), None, None) => match rows.base() {
-                        Some(base) => {
-                            let src = &d[base..base + n];
-                            if di == 0 {
-                                for (slot, &v) in slots.iter_mut().zip(src) {
-                                    *slot = slot_of(v);
-                                }
-                            } else {
-                                for (slot, &v) in slots.iter_mut().zip(src) {
-                                    *slot += slot_of(v) * stride;
-                                }
-                            }
-                        }
-                        None => {
-                            if di == 0 {
-                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                                    *slot = slot_of(d[rows.row(i)]);
-                                }
-                            } else {
-                                for (i, slot) in slots.iter_mut().enumerate().take(n) {
-                                    *slot += slot_of(d[rows.row(i)]) * stride;
-                                }
-                            }
-                        }
+                match *col {
+                    ColView::F64(d) => match rows.base() {
+                        Some(base) => slot_span!(&d[base..base + n], slot_of),
+                        None => slot_loop!(|i: usize| slot_of(d[rows.row(i)])),
                     },
-                    _ => {
+                    ColView::I64(d) => slot_loop!(|i: usize| slot_of(d[rows.row(i)] as f64)),
+                    ColView::Codes(d) => {
+                        slot_loop!(|i: usize| slot_of(f64::from(d[rows.row(i)])))
+                    }
+                    ColView::StagedNum(s) => {
+                        let b = &stages[s];
+                        and_mask(valid, &b.mask);
+                        slot_span!(&b.nums[..n], slot_of);
+                    }
+                    ColView::StagedCodes(s) => {
+                        let b = &stages[s];
+                        and_mask(valid, &b.mask);
+                        slot_span!(&b.codes[..n], |c| slot_of(f64::from(c)));
+                    }
+                    ColView::Virtual(c) => {
                         for i in 0..n {
-                            match col.numeric(rows.row(i)) {
+                            match c.numeric(rows.row(i)) {
                                 Some(v) => {
                                     if di == 0 {
                                         slots[i] = slot_of(v);
@@ -409,6 +723,7 @@ fn dense_slots<R: RowSet>(dims: &[BoundDim<'_>], rows: R, slots: &mut [u32], val
 /// with a null binned value get their `valid` bit cleared.
 fn sparse_keys<R: RowSet>(
     dims: &[BoundDim<'_>],
+    stages: &[StageBuf],
     rows: R,
     k0: &mut [i64],
     k1: &mut [i64],
@@ -419,33 +734,90 @@ fn sparse_keys<R: RowSet>(
     mask_tail(valid, n);
     for (di, dim) in dims.iter().enumerate() {
         let out: &mut [i64] = if di == 0 { k0 } else { k1 };
+        macro_rules! key_loop {
+            ($get:expr) => {{
+                let get = $get;
+                for (i, o) in out.iter_mut().enumerate().take(n) {
+                    *o = get(i);
+                }
+            }};
+        }
         match dim {
-            BoundDim::Nominal { col } => {
-                for i in 0..n {
-                    match col.code(rows.row(i)) {
-                        Some(code) => out[i] = i64::from(code),
-                        None => valid[i / 64] &= !(1u64 << (i % 64)),
-                    }
+            BoundDim::Nominal { col, .. } => match *col {
+                ColView::Codes(d) => key_loop!(|i: usize| i64::from(d[rows.row(i)])),
+                ColView::StagedCodes(s) => {
+                    let b = &stages[s];
+                    and_mask(valid, &b.mask);
+                    key_loop!(|i: usize| i64::from(b.codes[i]));
                 }
-            }
-            BoundDim::Width {
-                col, width, anchor, ..
-            } => match (col.data, col.fk, col.validity) {
-                (ColumnSlice::F64(d), None, None) => {
-                    for (i, o) in out.iter_mut().enumerate().take(n) {
-                        *o = ((d[rows.row(i)] - anchor) / width).floor() as i64;
-                    }
-                }
-                _ => {
+                ColView::Virtual(c) => {
                     for i in 0..n {
-                        match col.numeric(rows.row(i)) {
-                            Some(v) => out[i] = ((v - anchor) / width).floor() as i64,
+                        match c.code(rows.row(i)) {
+                            Some(code) => out[i] = i64::from(code),
                             None => valid[i / 64] &= !(1u64 << (i % 64)),
                         }
                     }
                 }
+                ColView::F64(_) | ColView::I64(_) | ColView::StagedNum(_) => {
+                    unreachable!("nominal binning compiled over a non-nominal column")
+                }
             },
+            BoundDim::Width {
+                col, width, anchor, ..
+            } => {
+                let key_of = move |v: f64| ((v - anchor) / width).floor() as i64;
+                match *col {
+                    ColView::F64(d) => key_loop!(|i: usize| key_of(d[rows.row(i)])),
+                    ColView::I64(d) => key_loop!(|i: usize| key_of(d[rows.row(i)] as f64)),
+                    ColView::Codes(d) => {
+                        key_loop!(|i: usize| key_of(f64::from(d[rows.row(i)])))
+                    }
+                    ColView::StagedNum(s) => {
+                        let b = &stages[s];
+                        and_mask(valid, &b.mask);
+                        key_loop!(|i: usize| key_of(b.nums[i]));
+                    }
+                    ColView::StagedCodes(s) => {
+                        let b = &stages[s];
+                        and_mask(valid, &b.mask);
+                        key_loop!(|i: usize| key_of(f64::from(b.codes[i])));
+                    }
+                    ColView::Virtual(c) => {
+                        for i in 0..n {
+                            match c.numeric(rows.row(i)) {
+                                Some(v) => out[i] = key_of(v),
+                                None => valid[i / 64] &= !(1u64 << (i % 64)),
+                            }
+                        }
+                    }
+                }
+            }
         }
+    }
+}
+
+/// Per-row numeric value of a column view at morsel position `i` (`None`
+/// when null) — the sparse store's row-at-a-time measure accessor.
+#[inline(always)]
+fn measure_value<R: RowSet>(
+    col: &ColView<'_>,
+    stages: &[StageBuf],
+    rows: R,
+    i: usize,
+) -> Option<f64> {
+    match *col {
+        ColView::F64(d) => Some(d[rows.row(i)]),
+        ColView::I64(d) => Some(d[rows.row(i)] as f64),
+        ColView::Codes(d) => Some(f64::from(d[rows.row(i)])),
+        ColView::StagedNum(s) => {
+            let b = &stages[s];
+            (b.mask[i / 64] >> (i % 64) & 1 == 1).then(|| b.nums[i])
+        }
+        ColView::StagedCodes(s) => {
+            let b = &stages[s];
+            (b.mask[i / 64] >> (i % 64) & 1 == 1).then(|| f64::from(b.codes[i]))
+        }
+        ColView::Virtual(c) => c.numeric(rows.row(i)),
     }
 }
 
@@ -508,13 +880,17 @@ pub(crate) struct BatchAcc {
     slots: Vec<u32>,
     k0: Vec<i64>,
     k1: Vec<i64>,
+    /// Stage buffers, parallel to the plan's [`StageSpec`]s.
+    stages: Vec<StageBuf>,
+    /// Staged FK values, parallel to the plan's distinct FK columns.
+    fk_stage: Vec<Vec<u32>>,
 }
 
 impl BatchAcc {
     pub fn for_plan(plan: &CompiledPlan) -> BatchAcc {
         let aggs: Vec<(AggFunc, bool)> = plan
             .query()
-            .aggregates
+            .aggregates()
             .iter()
             .map(|a| (a.func, a.dimension.is_some()))
             .collect();
@@ -564,29 +940,54 @@ impl BatchAcc {
             slots: vec![0; MORSEL],
             k0: vec![0; MORSEL],
             k1: vec![0; MORSEL],
+            stages: plan.stages.iter().map(StageBuf::for_spec).collect(),
+            fk_stage: plan.fk_cols.iter().map(|_| vec![0; MORSEL]).collect(),
         }
     }
 
-    /// Processes one morsel: filter → bin → accumulate. Returns the number
-    /// of rows that passed the filter (cost-model input).
+    /// Processes one morsel: stage → filter → bin → accumulate. Returns the
+    /// number of rows that passed the filter (cost-model input).
     pub fn process_morsel<R: RowSet>(&mut self, bound: &BoundPlan<'_>, rows: R) -> usize {
         let n = rows.len();
         debug_assert!(n <= MORSEL);
         self.rows_seen += n as u64;
 
-        // 1. Filter.
+        // 1. Stage the joined / nullable columns the *filter* reads.
+        stage_fks(bound, rows, &mut self.fk_stage, &bound.phases.filter_fks);
+        stage_cols(
+            bound,
+            rows,
+            &self.fk_stage,
+            &mut self.stages,
+            &bound.phases.filter_stages,
+        );
+
+        // 2. Filter.
         let mut fmask: Mask = [u64::MAX; WORDS];
         mask_tail(&mut fmask, n);
         if let Some(filter) = &bound.filter {
-            eval_filter(filter, rows, &mut fmask);
+            eval_filter(filter, &self.stages, rows, &mut fmask);
         }
         let matched: usize = fmask.iter().map(|w| w.count_ones() as usize).sum();
         self.rows_matched += matched as u64;
         if matched == 0 {
+            // Binning and measure staging is deferred to here precisely so
+            // a fully-filtered-out morsel never pays for it.
             return 0;
         }
 
-        // 2. Bin keys, 3. accumulate matching rows.
+        // 3. Stage the remaining (binning / measure) columns.
+        stage_fks(bound, rows, &mut self.fk_stage, &bound.phases.post_fks);
+        stage_cols(
+            bound,
+            rows,
+            &self.fk_stage,
+            &mut self.stages,
+            &bound.phases.post_stages,
+        );
+        let stages = &self.stages;
+
+        // 4. Bin keys, 5. accumulate matching rows.
         let mut valid: Mask = [0u64; WORDS];
         match &mut self.store {
             Store::Dense {
@@ -595,47 +996,87 @@ impl BatchAcc {
                 touched,
                 ..
             } => {
-                dense_slots(&bound.dims, rows, &mut self.slots, &mut valid);
-                // Counts pass.
+                dense_slots(&bound.dims, stages, rows, &mut self.slots, &mut valid);
+                // Counts pass. Full words (the common unfiltered case) skip
+                // the per-bit scan; iteration order is unchanged either way.
                 for w in 0..WORDS {
                     let mut bits = fmask[w] & valid[w];
-                    while bits != 0 {
-                        let i = w * 64 + bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        let slot = self.slots[i] as usize;
-                        if counts[slot] == 0 {
-                            touched.push(slot as u32);
+                    if bits == u64::MAX {
+                        for &slot in &self.slots[w * 64..w * 64 + 64] {
+                            let slot = slot as usize;
+                            if counts[slot] == 0 {
+                                touched.push(slot as u32);
+                            }
+                            counts[slot] += 1;
                         }
-                        counts[slot] += 1;
+                    } else {
+                        while bits != 0 {
+                            let i = w * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let slot = self.slots[i] as usize;
+                            if counts[slot] == 0 {
+                                touched.push(slot as u32);
+                            }
+                            counts[slot] += 1;
+                        }
                     }
                 }
                 // One pass per measure column, so the column-type dispatch
                 // runs once per morsel instead of once per row. Per (bin,
                 // measure) the update sequence stays exactly row order.
                 let nmeasures = self.nmeasures;
-                for (m, col) in bound.measures.iter().enumerate() {
-                    let Some(col) = col else { continue };
-                    match (col.data, col.fk, col.validity) {
-                        // Fast path: direct float column, fully valid.
-                        (ColumnSlice::F64(d), None, None) => {
-                            for w in 0..WORDS {
-                                let mut bits = fmask[w] & valid[w];
+                let slots = &self.slots;
+                // A flat measure-update pass: walk the matching valid rows
+                // (optionally AND-ing a staged mask) and fold `get(i)`
+                // into the row's bin accumulator.
+                macro_rules! measure_pass {
+                    ($m:expr, $mask:expr, $get:expr) => {{
+                        let get = $get;
+                        for w in 0..WORDS {
+                            let mut bits = fmask[w] & valid[w] & $mask[w];
+                            if bits == u64::MAX {
+                                // Full word: straight-line row loop, same
+                                // update order as the bit scan below.
+                                for i in w * 64..w * 64 + 64 {
+                                    measures[slots[i] as usize * nmeasures + $m].update(get(i));
+                                }
+                            } else {
                                 while bits != 0 {
                                     let i = w * 64 + bits.trailing_zeros() as usize;
                                     bits &= bits - 1;
-                                    measures[self.slots[i] as usize * nmeasures + m]
-                                        .update(d[rows.row(i)]);
+                                    measures[slots[i] as usize * nmeasures + $m].update(get(i));
                                 }
                             }
                         }
-                        _ => {
+                    }};
+                }
+                let ones = [u64::MAX; WORDS];
+                for (m, col) in bound.measures.iter().enumerate() {
+                    let Some(col) = col else { continue };
+                    match *col {
+                        ColView::F64(d) => measure_pass!(m, ones, |i: usize| d[rows.row(i)]),
+                        ColView::I64(d) => {
+                            measure_pass!(m, ones, |i: usize| d[rows.row(i)] as f64)
+                        }
+                        ColView::Codes(d) => {
+                            measure_pass!(m, ones, |i: usize| f64::from(d[rows.row(i)]))
+                        }
+                        ColView::StagedNum(s) => {
+                            let b = &stages[s];
+                            measure_pass!(m, b.mask, |i: usize| b.nums[i]);
+                        }
+                        ColView::StagedCodes(s) => {
+                            let b = &stages[s];
+                            measure_pass!(m, b.mask, |i: usize| f64::from(b.codes[i]));
+                        }
+                        ColView::Virtual(c) => {
                             for w in 0..WORDS {
                                 let mut bits = fmask[w] & valid[w];
                                 while bits != 0 {
                                     let i = w * 64 + bits.trailing_zeros() as usize;
                                     bits &= bits - 1;
-                                    if let Some(v) = col.numeric(rows.row(i)) {
-                                        measures[self.slots[i] as usize * nmeasures + m].update(v);
+                                    if let Some(v) = c.numeric(rows.row(i)) {
+                                        measures[slots[i] as usize * nmeasures + m].update(v);
                                     }
                                 }
                             }
@@ -644,7 +1085,14 @@ impl BatchAcc {
                 }
             }
             Store::Sparse { index, accs, .. } => {
-                sparse_keys(&bound.dims, rows, &mut self.k0, &mut self.k1, &mut valid);
+                sparse_keys(
+                    &bound.dims,
+                    stages,
+                    rows,
+                    &mut self.k0,
+                    &mut self.k1,
+                    &mut valid,
+                );
                 let two_d = bound.dims.len() == 2;
                 let nmeasures = self.nmeasures;
                 // Consecutive rows often land in the same bin; memoize the
@@ -675,10 +1123,9 @@ impl BatchAcc {
                         };
                         let acc = &mut accs[slot as usize].1;
                         acc.count += 1;
-                        let row = rows.row(i);
                         for (m, col) in bound.measures.iter().enumerate() {
                             if let Some(col) = col {
-                                if let Some(v) = col.numeric(row) {
+                                if let Some(v) = measure_value(col, stages, rows, i) {
                                     acc.measures[m].update(v);
                                 }
                             }

@@ -324,7 +324,25 @@ pub fn execute_exact_parallel(
     query: &Query,
     workers: usize,
 ) -> Result<AggResult, CoreError> {
-    let mut run = ChunkedRun::new(dataset.clone(), query.clone(), SnapshotMode::Exact)?;
+    execute_exact_with_policy(dataset, query, workers, crate::plan::JoinPolicy::default())
+}
+
+/// Runs a query to completion on the vectorized path under an explicit
+/// [`crate::plan::JoinPolicy`].
+///
+/// Results are bit-identical across policies and worker counts — the
+/// policy only decides whether star-schema kernels pay the per-row join
+/// indirection. `bench_scan`'s star-join gate and the join differential
+/// tests compare the devirtualized path against
+/// [`crate::plan::JoinPolicy::Indirect`] through this entry point.
+pub fn execute_exact_with_policy(
+    dataset: &Dataset,
+    query: &Query,
+    workers: usize,
+    policy: crate::plan::JoinPolicy,
+) -> Result<AggResult, CoreError> {
+    let plan = CompiledPlan::compile_with(dataset, query, policy)?;
+    let mut run = ChunkedRun::from_plan(plan, None, SnapshotMode::Exact);
     run.set_workers(workers);
     while !run.is_done() {
         run.advance(u64::MAX);
@@ -360,12 +378,12 @@ pub fn execute_exact_scalar_with_order(
     if let Some(o) = order {
         assert_eq!(o.len(), resolved.num_rows, "order must cover every row");
     }
-    let mut total = GroupedAcc::for_query(&resolved, &query.aggregates);
-    let mut chunk = GroupedAcc::for_query(&resolved, &query.aggregates);
+    let mut total = GroupedAcc::for_query(&resolved, query.aggregates());
+    let mut chunk = GroupedAcc::for_query(&resolved, query.aggregates());
     for i in 0..resolved.num_rows {
         if i > 0 && i % CHUNK_ROWS == 0 {
             total.merge(&chunk);
-            chunk = GroupedAcc::for_query(&resolved, &query.aggregates);
+            chunk = GroupedAcc::for_query(&resolved, query.aggregates());
         }
         let row = order.map_or(i, |o| o[i] as usize);
         chunk.process_row(&resolved, row);
@@ -853,6 +871,87 @@ mod tests {
             execute_exact(&ds, &q).unwrap(),
             execute_exact_scalar(&ds, &q).unwrap()
         );
+    }
+
+    /// A star schema big enough to span several morsels, with an optional
+    /// join-cache capacity (0 forces the per-plan staged-FK fallback).
+    fn star_dataset(n: usize, capacity: usize) -> Dataset {
+        use idebench_storage::{DimensionSpec, StarSchema, Value};
+        let mut f = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("dep_delay", DataType::Float),
+                ("carrier_key", DataType::Int),
+            ],
+        );
+        for i in 0..n {
+            f.push_row(&[
+                ((i % 1013) as f64 * 0.1 - 17.3).into(),
+                ((i % 7) as i64).into(),
+            ])
+            .unwrap();
+        }
+        let mut d = TableBuilder::with_fields("carriers", &[("carrier", DataType::Nominal)]);
+        for c in 0..7 {
+            d.push_row(&[Value::Str(format!("C{c}"))]).unwrap();
+        }
+        Dataset::Star(Arc::new(
+            StarSchema::with_join_cache_capacity(
+                Arc::new(f.finish()),
+                vec![(
+                    DimensionSpec::new("carriers", "carrier_key", vec!["carrier".into()]),
+                    Arc::new(d.finish()),
+                )],
+                capacity,
+            )
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn join_paths_agree_with_scalar_bit_for_bit() {
+        use crate::plan::JoinPolicy;
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![
+                BinDef::Nominal {
+                    dimension: "carrier".into(),
+                },
+                BinDef::Width {
+                    dimension: "dep_delay".into(),
+                    width: 25.0,
+                    anchor: 0.0,
+                },
+            ],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Avg, "dep_delay"),
+                AggregateSpec::over(AggFunc::Sum, "dep_delay"),
+            ],
+        );
+        let q = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["C1".into(), "C4".into(), "C6".into()],
+            })),
+        );
+        // Materialized (shared-cache), staged (capacity 0), and legacy
+        // indirect join access must all equal the scalar reference.
+        for capacity in [usize::MAX, 0] {
+            let ds = star_dataset(5 * crate::batch::MORSEL + 311, capacity);
+            let scalar = execute_exact_scalar(&ds, &q).unwrap();
+            for workers in [1, 8] {
+                for policy in [JoinPolicy::Devirtualized, JoinPolicy::Indirect] {
+                    let got = execute_exact_with_policy(&ds, &q, workers, policy).unwrap();
+                    assert_eq!(
+                        got, scalar,
+                        "capacity {capacity}, workers {workers}, {policy:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl<'a> CompiledFilter<'a> {
         let mut base = 0usize;
         while base < num_rows {
             let n = MORSEL.min(num_rows - base);
-            eval_filter(&bound, Natural { base, len: n }, &mut mask);
+            eval_filter(&bound, &[], Natural { base, len: n }, &mut mask);
             for (w, &bits) in mask.iter().enumerate().take(n.div_ceil(64)) {
                 sel.set_word(base / 64 + w, bits);
             }
@@ -156,7 +156,7 @@ impl<'a> CompiledFilter<'a> {
         use crate::batch::BoundFilter;
         match self {
             CompiledFilter::Range { col, min, max } => BoundFilter::Range {
-                col: col.bind(),
+                col: col.view(),
                 min: *min,
                 max: *max,
             },
@@ -164,7 +164,7 @@ impl<'a> CompiledFilter<'a> {
                 let member = &members[*next];
                 *next += 1;
                 BoundFilter::In {
-                    col: col.bind(),
+                    col: col.view(),
                     member,
                 }
             }

@@ -162,12 +162,12 @@ mod tests {
         let ds = dataset();
         let q0 = query("a");
         let mut q1 = query("b");
-        q1.filter = Some(idebench_core::FilterExpr::Pred(
+        q1.set_filter(Some(idebench_core::FilterExpr::Pred(
             idebench_core::Predicate::In {
                 column: "carrier".into(),
                 values: vec!["DL".into()],
             },
-        ));
+        )));
         let queries = vec![q0.clone(), q1.clone()];
         let mut frozen = CachedGroundTruth::precompute(ds.clone(), &queries, 4);
         let mut serial = CachedGroundTruth::new(ds);
@@ -211,12 +211,12 @@ mod tests {
         let mut gt = CachedGroundTruth::new(dataset());
         let q1 = query("v");
         let mut q2 = query("v");
-        q2.filter = Some(idebench_core::FilterExpr::Pred(
+        q2.set_filter(Some(idebench_core::FilterExpr::Pred(
             idebench_core::Predicate::In {
                 column: "carrier".into(),
                 values: vec!["AA".into()],
             },
-        ));
+        )));
         gt.ground_truth(&q1);
         gt.ground_truth(&q2);
         assert_eq!(gt.stats(), (0, 2));

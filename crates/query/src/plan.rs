@@ -19,9 +19,36 @@
 //! (index-based slice lookups, no name resolution, no hashing) and runs
 //! batch kernels over it. [`plan_compilations`] counts compilations so tests
 //! can pin the once-per-run property.
+//!
+//! # Join devirtualization
+//!
+//! On star schemas, a dimension attribute is logically reached through the
+//! fact table's foreign key (`column[fk[row]]`). Under the default
+//! [`JoinPolicy::Devirtualized`], compilation eliminates that per-row
+//! indirection from the kernels:
+//!
+//! 1. **Materialization** (preferred): the plan asks the schema's shared
+//!    [`idebench_storage::StarSchema::materialize_join`] cache for a
+//!    fact-ordered copy of the column. On success the kernels read a flat
+//!    slice — star scans run at de-normalized speed, and the `Arc`-shared
+//!    memo means every session and query over the dataset reuses one copy.
+//! 2. **Per-plan join caches** (fallback, e.g. when the shared cache is
+//!    over capacity): the plan builds an `O(|dim|)` dimension-row-indexed
+//!    cache — dictionary codes for nominal attributes, widened values for
+//!    numeric ones — and each morsel gathers the FK column **once** into a
+//!    shared staging buffer, translating every joined column through its
+//!    cache into flat per-morsel slices.
+//!
+//! Either way, the batch kernels only ever see flat slices (plus a staged
+//! validity mask); the legacy per-row virtualized access survives solely
+//! under [`JoinPolicy::Indirect`] as the differential/benchmark baseline.
+//! Devirtualization changes *wall-clock* cost only: the benchmark's virtual
+//! cost model ([`CompiledPlan::row_cost`], [`CompiledPlan::width_units`])
+//! still charges every logical join, exactly as before.
 
 use idebench_core::{BinDef, CoreError, FilterExpr, Predicate, Query};
 use idebench_storage::{Column, ColumnSlice, Dataset, SelVec, Table};
+use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,34 +67,81 @@ pub fn plan_compilations() -> u64 {
     PLAN_COMPILATIONS.load(Ordering::Relaxed)
 }
 
+/// How a [`CompiledPlan`] executes star-schema join access (module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinPolicy {
+    /// Joined columns are lowered to flat slices: materialized fact-ordered
+    /// copies from the shared [`idebench_storage::StarSchema`] join cache
+    /// when it has room, per-morsel FK staging through per-plan dimension
+    /// caches otherwise. The default.
+    #[default]
+    Devirtualized,
+    /// The pre-cache behaviour: every access to a joined (or nullable)
+    /// column pays the per-row `column[fk[row]]` double indirection inside
+    /// the kernels. Kept as the differential-test and benchmark baseline.
+    Indirect,
+}
+
+/// Sentinel in a per-plan nominal join cache marking a null dimension row.
+pub(crate) const NULL_CODE: u32 = u32::MAX;
+
+/// How morsel kernels physically access a planned column.
+#[derive(Debug, Clone)]
+pub(crate) enum Access {
+    /// Flat payload without nulls — kernels index it by fact row directly.
+    Direct,
+    /// Gathered per morsel into stage buffer `slot` (flat values plus a
+    /// validity mask); `nominal` picks the code vs. numeric buffer.
+    Staged { slot: usize, nominal: bool },
+    /// Legacy per-row virtualized access (fk indirection + null checks in
+    /// the row loop). Only under [`JoinPolicy::Indirect`].
+    Virtual,
+}
+
 /// A query column resolved to owned storage handles.
 ///
 /// `table` holds the column payload; for star-schema dimension attributes,
 /// `fk` names the fact table's foreign-key column through which fact rows
-/// reach it (`column[fk[row]]` — the indirection *is* the join).
+/// logically reach it (`column[fk[row]]` — the indirection *is* the join).
+/// `materialized` carries the fact-ordered copy when the shared join cache
+/// devirtualized that indirection, and `access` says how kernels read the
+/// column (see `Access`). The *cost model* always follows `fk`: a
+/// devirtualized join still bills as a join.
 #[derive(Debug, Clone)]
 pub struct PlannedColumn {
     table: Arc<Table>,
     col: usize,
     fk: Option<(Arc<Table>, usize)>,
+    materialized: Option<Arc<Column>>,
+    access: Access,
 }
 
 impl PlannedColumn {
     /// Resolves `name` against the dataset.
+    ///
+    /// Standalone resolution keeps legacy access (direct when flat and
+    /// fully valid, per-row virtualized otherwise);
+    /// [`CompiledPlan::compile`] upgrades its columns per [`JoinPolicy`].
     pub fn resolve(dataset: &Dataset, name: &str) -> Result<Self, CoreError> {
+        let make = |table: Arc<Table>, col: usize, fk: Option<(Arc<Table>, usize)>| {
+            let access = if fk.is_none() && table.column_at(col).validity().is_none() {
+                Access::Direct
+            } else {
+                Access::Virtual
+            };
+            PlannedColumn {
+                table,
+                col,
+                fk,
+                materialized: None,
+                access,
+            }
+        };
         match dataset {
-            Dataset::Denormalized(t) => Ok(PlannedColumn {
-                col: t.schema().index_of(name)?,
-                table: Arc::clone(t),
-                fk: None,
-            }),
+            Dataset::Denormalized(t) => Ok(make(Arc::clone(t), t.schema().index_of(name)?, None)),
             Dataset::Star(s) => {
                 if let Ok(col) = s.fact().schema().index_of(name) {
-                    return Ok(PlannedColumn {
-                        table: Arc::clone(s.fact()),
-                        col,
-                        fk: None,
-                    });
+                    return Ok(make(Arc::clone(s.fact()), col, None));
                 }
                 let (spec, dim) = s.dimension_of_column(name).ok_or_else(|| {
                     CoreError::Storage(format!("unknown column {name} in star schema"))
@@ -76,18 +150,33 @@ impl PlannedColumn {
                 if s.fact().column_at(fk_idx).as_int().is_none() {
                     return Err(CoreError::Storage(format!("fk {} not int", spec.fk_name)));
                 }
-                Ok(PlannedColumn {
-                    col: dim.schema().index_of(name)?,
-                    table: Arc::clone(dim),
-                    fk: Some((Arc::clone(s.fact()), fk_idx)),
-                })
+                Ok(make(
+                    Arc::clone(dim),
+                    dim.schema().index_of(name)?,
+                    Some((Arc::clone(s.fact()), fk_idx)),
+                ))
             }
         }
     }
 
-    /// The underlying column.
+    /// The underlying (logical) column — for dimension attributes, the
+    /// column in the dimension table, independent of materialization.
     pub fn column(&self) -> &Column {
         self.table.column_at(self.col)
+    }
+
+    /// The column the kernels physically read: the fact-ordered
+    /// materialization when the join was devirtualized through the shared
+    /// cache, the logical column otherwise.
+    pub(crate) fn payload(&self) -> &Column {
+        self.materialized
+            .as_deref()
+            .unwrap_or_else(|| self.column())
+    }
+
+    /// The column's name in its home table.
+    fn name(&self) -> &str {
+        &self.table.schema().fields()[self.col].name
     }
 
     /// Whether the column is reached through a foreign key (join access).
@@ -109,7 +198,7 @@ impl PlannedColumn {
         }
     }
 
-    /// Binds the plan column to borrowed slices for kernel execution.
+    /// Binds the plan column to the legacy per-row virtualized accessor.
     #[inline]
     pub(crate) fn bind(&self) -> BoundColumn<'_> {
         let column = self.column();
@@ -123,9 +212,61 @@ impl PlannedColumn {
             }),
         }
     }
+
+    /// The column as one morsel's kernels see it (see [`ColView`]).
+    #[inline]
+    pub(crate) fn view(&self) -> ColView<'_> {
+        match self.access {
+            Access::Direct => ColView::direct(self.payload().typed()),
+            Access::Staged { slot, nominal } => {
+                if nominal {
+                    ColView::StagedCodes(slot)
+                } else {
+                    ColView::StagedNum(slot)
+                }
+            }
+            Access::Virtual => ColView::Virtual(self.bind()),
+        }
+    }
 }
 
-/// A [`PlannedColumn`] bound to borrowed slices for one `advance` call.
+/// A column as the morsel kernels consume it: a flat typed slice indexed by
+/// fact row (`Direct*` — no nulls by construction), a staged scratch slot
+/// indexed by morsel position with a validity mask (joined or nullable
+/// columns under [`JoinPolicy::Devirtualized`]), or the retained per-row
+/// virtualized accessor ([`JoinPolicy::Indirect`] and the scalar filter
+/// lowering). This is what collapsed the old per-kernel
+/// `(data, fk, validity)` match arms: every arm is flat except `Virtual`.
+#[derive(Clone, Copy)]
+pub(crate) enum ColView<'a> {
+    /// Direct float slice.
+    F64(&'a [f64]),
+    /// Direct integer slice.
+    I64(&'a [i64]),
+    /// Direct dictionary-code slice.
+    Codes(&'a [u32]),
+    /// Numeric stage buffer `slot` (values at morsel positions).
+    StagedNum(usize),
+    /// Code stage buffer `slot` (codes at morsel positions).
+    StagedCodes(usize),
+    /// Per-row virtualized access.
+    Virtual(BoundColumn<'a>),
+}
+
+impl<'a> ColView<'a> {
+    /// Direct view of a flat, fully-valid payload.
+    #[inline]
+    pub(crate) fn direct(data: ColumnSlice<'a>) -> Self {
+        match data {
+            ColumnSlice::F64(d) => ColView::F64(d),
+            ColumnSlice::I64(d) => ColView::I64(d),
+            ColumnSlice::Codes(d, _) => ColView::Codes(d),
+        }
+    }
+}
+
+/// A [`PlannedColumn`] bound to borrowed slices for per-row virtualized
+/// access — the one non-flat arm of [`ColView`].
 #[derive(Clone, Copy)]
 pub(crate) struct BoundColumn<'a> {
     pub data: ColumnSlice<'a>,
@@ -251,6 +392,28 @@ impl PlannedFilter {
         }
     }
 
+    fn for_each_col_mut(&mut self, f: &mut impl FnMut(&mut PlannedColumn)) {
+        match self {
+            PlannedFilter::Range { col, .. } | PlannedFilter::In { col, .. } => f(col),
+            PlannedFilter::And(children) | PlannedFilter::Or(children) => {
+                for c in children {
+                    c.for_each_col_mut(f);
+                }
+            }
+        }
+    }
+
+    fn for_each_col(&self, f: &mut impl FnMut(&PlannedColumn)) {
+        match self {
+            PlannedFilter::Range { col, .. } | PlannedFilter::In { col, .. } => f(col),
+            PlannedFilter::And(children) | PlannedFilter::Or(children) => {
+                for c in children {
+                    c.for_each_col(f);
+                }
+            }
+        }
+    }
+
     fn width_units(&self) -> f64 {
         match self {
             PlannedFilter::Range { col, .. } | PlannedFilter::In { col, .. } => col.width_units(),
@@ -296,6 +459,12 @@ impl PlannedDim {
         }
     }
 
+    fn col_mut(&mut self) -> &mut PlannedColumn {
+        match self {
+            PlannedDim::Nominal { col, .. } | PlannedDim::Width { col, .. } => col,
+        }
+    }
+
     /// Size of the dimension's bounded bin space, when it has one.
     fn dense_len(&self) -> Option<usize> {
         match self {
@@ -315,6 +484,72 @@ pub enum AccMode {
     Sparse,
 }
 
+/// An owned handle to a column staged per morsel (see [`StageSpec::Own`]).
+#[derive(Debug, Clone)]
+pub(crate) enum ColRef {
+    /// A column inside a table.
+    Table(Arc<Table>, usize),
+    /// A free-standing column (fact-ordered materialization).
+    Owned(Arc<Column>),
+}
+
+impl ColRef {
+    pub(crate) fn get(&self) -> &Column {
+        match self {
+            ColRef::Table(t, i) => t.column_at(*i),
+            ColRef::Owned(c) => c,
+        }
+    }
+}
+
+/// One per-morsel staging instruction of a compiled plan. Stage buffer `i`
+/// of the accumulator is filled by `stages[i]` at the top of every morsel;
+/// kernels then consume flat slices plus the staged validity mask.
+#[derive(Debug, Clone)]
+pub(crate) enum StageSpec {
+    /// Gather the column's own rows (folding its validity into the mask).
+    Own(ColRef),
+    /// Translate the staged FK buffer `fk_slot` through a per-plan
+    /// dimension-row code cache ([`NULL_CODE`] marks null dimension rows).
+    JoinCodes {
+        fk_slot: usize,
+        cache: Arc<Vec<u32>>,
+    },
+    /// Translate the staged FK buffer `fk_slot` through a per-plan
+    /// dimension-row numeric cache (`valid` is the dimension column's
+    /// validity, indexed by dimension row).
+    JoinNum {
+        fk_slot: usize,
+        vals: Arc<Vec<f64>>,
+        valid: Option<SelVec>,
+    },
+}
+
+impl StageSpec {
+    /// Whether the staged values are dictionary codes (vs. numerics).
+    pub(crate) fn nominal(&self) -> bool {
+        match self {
+            StageSpec::Own(col) => matches!(col.get().typed(), ColumnSlice::Codes(..)),
+            StageSpec::JoinCodes { .. } => true,
+            StageSpec::JoinNum { .. } => false,
+        }
+    }
+}
+
+/// Which stage buffers (and FK gathers) each morsel phase fills: columns
+/// the filter reads stage *before* filter evaluation, everything else only
+/// after — a fully-filtered-out morsel skips the post-phase gathers
+/// entirely, so selective filters never pay for join staging they don't
+/// consume. Each FK gathers at most once per morsel (a filter-phase FK is
+/// excluded from the post phase even when post stages read it).
+#[derive(Debug, Default)]
+pub(crate) struct StagePhases {
+    pub filter_stages: Vec<usize>,
+    pub post_stages: Vec<usize>,
+    pub filter_fks: Vec<usize>,
+    pub post_fks: Vec<usize>,
+}
+
 /// An owned, reusable compiled query plan (see module docs).
 pub struct CompiledPlan {
     dataset: Dataset,
@@ -322,6 +557,14 @@ pub struct CompiledPlan {
     pub(crate) filter: Option<PlannedFilter>,
     pub(crate) dims: Vec<PlannedDim>,
     pub(crate) measures: Vec<Option<PlannedColumn>>,
+    /// Per-morsel staging instructions (one per stage buffer).
+    pub(crate) stages: Vec<StageSpec>,
+    /// Distinct foreign-key columns gathered once per morsel, shared by
+    /// every [`StageSpec::JoinCodes`]/[`StageSpec::JoinNum`] over them.
+    pub(crate) fk_cols: Vec<(Arc<Table>, usize)>,
+    /// Filter-phase vs. post-filter-phase staging split.
+    pub(crate) phases: StagePhases,
+    policy: JoinPolicy,
     acc_mode: AccMode,
     num_rows: usize,
     joined_columns: usize,
@@ -330,17 +573,30 @@ pub struct CompiledPlan {
 }
 
 impl CompiledPlan {
-    /// Compiles `query` against `dataset`. The dataset handle is cheap to
-    /// clone (`Arc`s all the way down) and is retained inside the plan.
+    /// Compiles `query` against `dataset` under the default
+    /// [`JoinPolicy::Devirtualized`]. The dataset handle is cheap to clone
+    /// (`Arc`s all the way down) and is retained inside the plan.
     pub fn compile(dataset: &Dataset, query: &Query) -> Result<Self, CoreError> {
+        Self::compile_with(dataset, query, JoinPolicy::default())
+    }
+
+    /// Compiles `query` against `dataset` under an explicit [`JoinPolicy`].
+    ///
+    /// Results are bit-identical across policies — the policy only decides
+    /// whether kernels pay the per-row join indirection; differential tests
+    /// and `bench_scan`'s star-join gate rely on that.
+    pub fn compile_with(
+        dataset: &Dataset,
+        query: &Query,
+        policy: JoinPolicy,
+    ) -> Result<Self, CoreError> {
         PLAN_COMPILATIONS.fetch_add(1, Ordering::Relaxed);
-        let filter = query
-            .filter
-            .as_ref()
+        let mut filter = query
+            .filter()
             .map(|f| PlannedFilter::compile(dataset, f))
             .transpose()?;
-        let dims = query
-            .binning
+        let mut dims = query
+            .binning()
             .iter()
             .map(|def| Self::compile_dim(dataset, def))
             .collect::<Result<Vec<_>, _>>()?;
@@ -350,8 +606,8 @@ impl CompiledPlan {
                 dims.len()
             )));
         }
-        let measures = query
-            .aggregates
+        let mut measures = query
+            .aggregates()
             .iter()
             .map(|a| {
                 a.dimension
@@ -361,6 +617,9 @@ impl CompiledPlan {
             })
             .collect::<Result<Vec<_>, _>>()?;
 
+        let (stages, fk_cols) =
+            Self::plan_access(dataset, policy, &mut filter, &mut dims, &mut measures);
+        let phases = Self::partition_stages(&filter, &stages, fk_cols.len());
         let acc_mode = Self::pick_acc_mode(&dims);
         let joined_columns = dims.iter().filter(|d| d.col().is_joined()).count()
             + filter.as_ref().map_or(0, PlannedFilter::joined_columns)
@@ -383,11 +642,133 @@ impl CompiledPlan {
             filter,
             dims,
             measures,
+            stages,
+            fk_cols,
+            phases,
+            policy,
             acc_mode,
             joined_columns,
             width_units,
             fact_arity,
         })
+    }
+
+    /// Assigns every planned column its kernel [`Access`], deduplicated by
+    /// physical column: the shared stage slots, per-plan join caches, and
+    /// distinct FK staging columns fall out of this pass (module docs).
+    fn plan_access(
+        dataset: &Dataset,
+        policy: JoinPolicy,
+        filter: &mut Option<PlannedFilter>,
+        dims: &mut [PlannedDim],
+        measures: &mut [Option<PlannedColumn>],
+    ) -> (Vec<StageSpec>, Vec<(Arc<Table>, usize)>) {
+        // Per physical column: its access plus any shared materialization.
+        type AccessMemo = FxHashMap<(usize, usize), (Access, Option<Arc<Column>>)>;
+        let star = dataset.as_star();
+        let mut stages: Vec<StageSpec> = Vec::new();
+        let mut fk_cols: Vec<(Arc<Table>, usize)> = Vec::new();
+        let mut memo: AccessMemo = FxHashMap::default();
+
+        let mut assign = |col: &mut PlannedColumn| {
+            let key = (Arc::as_ptr(&col.table) as usize, col.col);
+            if let Some((access, materialized)) = memo.get(&key) {
+                col.access = access.clone();
+                col.materialized = materialized.clone();
+                return;
+            }
+            let push_stage = |stages: &mut Vec<StageSpec>, spec: StageSpec| Access::Staged {
+                nominal: spec.nominal(),
+                slot: {
+                    stages.push(spec);
+                    stages.len() - 1
+                },
+            };
+            let (access, materialized) = match policy {
+                JoinPolicy::Indirect => (col.access.clone(), None),
+                JoinPolicy::Devirtualized => {
+                    let materialized = match (&col.fk, star) {
+                        (Some(_), Some(s)) => s.materialize_join(col.name()),
+                        _ => None,
+                    };
+                    if let Some(m) = &materialized {
+                        let access = if m.validity().is_none() {
+                            Access::Direct
+                        } else {
+                            push_stage(&mut stages, StageSpec::Own(ColRef::Owned(Arc::clone(m))))
+                        };
+                        (access, materialized)
+                    } else if let Some((fact, fk_idx)) = &col.fk {
+                        // Joined but not materialized (shared cache full, or
+                        // no star): per-plan dimension-row caches, unless
+                        // the dimension outgrows the u32 staging encoding.
+                        let dim_col = col.column();
+                        if dim_col.len() >= u32::MAX as usize {
+                            (Access::Virtual, None)
+                        } else {
+                            let fk_key = (Arc::clone(fact), *fk_idx);
+                            let fk_slot = fk_cols
+                                .iter()
+                                .position(|(t, i)| Arc::ptr_eq(t, fact) && i == fk_idx)
+                                .unwrap_or_else(|| {
+                                    fk_cols.push(fk_key);
+                                    fk_cols.len() - 1
+                                });
+                            let spec =
+                                match dim_col.typed() {
+                                    ColumnSlice::Codes(codes, _) => StageSpec::JoinCodes {
+                                        fk_slot,
+                                        cache: Arc::new(
+                                            codes
+                                                .iter()
+                                                .enumerate()
+                                                .map(|(i, &c)| {
+                                                    if dim_col.is_valid(i) {
+                                                        c
+                                                    } else {
+                                                        NULL_CODE
+                                                    }
+                                                })
+                                                .collect(),
+                                        ),
+                                    },
+                                    _ => StageSpec::JoinNum {
+                                        fk_slot,
+                                        vals: Arc::new(
+                                            (0..dim_col.len())
+                                                .map(|i| dim_col.numeric_at(i).unwrap_or(0.0))
+                                                .collect(),
+                                        ),
+                                        valid: dim_col.validity().cloned(),
+                                    },
+                                };
+                            (push_stage(&mut stages, spec), None)
+                        }
+                    } else if col.column().validity().is_none() {
+                        (Access::Direct, None)
+                    } else {
+                        // Nullable fact column: stage it so kernels fold the
+                        // validity bitmap into the morsel mask once.
+                        let spec = StageSpec::Own(ColRef::Table(Arc::clone(&col.table), col.col));
+                        (push_stage(&mut stages, spec), None)
+                    }
+                }
+            };
+            memo.insert(key, (access.clone(), materialized.clone()));
+            col.access = access;
+            col.materialized = materialized;
+        };
+
+        for dim in dims.iter_mut() {
+            assign(dim.col_mut());
+        }
+        if let Some(f) = filter {
+            f.for_each_col_mut(&mut assign);
+        }
+        for m in measures.iter_mut().flatten() {
+            assign(m);
+        }
+        (stages, fk_cols)
     }
 
     fn compile_dim(dataset: &Dataset, def: &BinDef) -> Result<PlannedDim, CoreError> {
@@ -461,6 +842,58 @@ impl CompiledPlan {
         })
     }
 
+    /// Splits staging into the filter phase (stage slots the filter reads,
+    /// plus the FK gathers feeding them) and the post phase (everything
+    /// else) — see [`StagePhases`].
+    fn partition_stages(
+        filter: &Option<PlannedFilter>,
+        stages: &[StageSpec],
+        n_fks: usize,
+    ) -> StagePhases {
+        let mut in_filter = vec![false; stages.len()];
+        if let Some(f) = filter {
+            f.for_each_col(&mut |col| {
+                if let Access::Staged { slot, .. } = col.access {
+                    in_filter[slot] = true;
+                }
+            });
+        }
+        let mut fk_in_filter = vec![false; n_fks];
+        let mut fk_in_post = vec![false; n_fks];
+        for (i, spec) in stages.iter().enumerate() {
+            if let StageSpec::JoinCodes { fk_slot, .. } | StageSpec::JoinNum { fk_slot, .. } = spec
+            {
+                if in_filter[i] {
+                    fk_in_filter[*fk_slot] = true;
+                } else {
+                    fk_in_post[*fk_slot] = true;
+                }
+            }
+        }
+        let split = |flags: &[bool]| -> (Vec<usize>, Vec<usize>) {
+            let mut yes = Vec::new();
+            let mut no = Vec::new();
+            for (i, &f) in flags.iter().enumerate() {
+                if f {
+                    yes.push(i);
+                } else {
+                    no.push(i);
+                }
+            }
+            (yes, no)
+        };
+        let (filter_stages, post_stages) = split(&in_filter);
+        StagePhases {
+            filter_stages,
+            post_stages,
+            filter_fks: split(&fk_in_filter).0,
+            // A filter-phase FK is already staged when the post phase runs.
+            post_fks: (0..n_fks)
+                .filter(|&i| fk_in_post[i] && !fk_in_filter[i])
+                .collect(),
+        }
+    }
+
     /// Dense accumulation applies when every dimension has a bounded bin
     /// space — a nominal dictionary, or a bucketed dimension whose column
     /// statistics bound its reachable buckets — and the product of those
@@ -498,6 +931,11 @@ impl CompiledPlan {
     /// Accumulation mode selected for the binning.
     pub fn acc_mode(&self) -> AccMode {
         self.acc_mode
+    }
+
+    /// The join-access policy this plan was compiled under.
+    pub fn join_policy(&self) -> JoinPolicy {
+        self.policy
     }
 
     /// How many referenced columns are join-accessed (cost-model input).
@@ -758,6 +1196,186 @@ mod tests {
             None,
         );
         assert!(CompiledPlan::compile(&denorm(), &bad_width).is_err());
+    }
+
+    fn star_capped(capacity: usize) -> Dataset {
+        let mut f = TableBuilder::with_fields(
+            "flights",
+            &[
+                ("dep_delay", DataType::Float),
+                ("carrier_key", DataType::Int),
+            ],
+        );
+        f.push_row(&[5.0.into(), 1i64.into()]).unwrap();
+        f.push_row(&[15.0.into(), 0i64.into()]).unwrap();
+        let mut d = TableBuilder::with_fields("carriers", &[("carrier", DataType::Nominal)]);
+        d.push_row(&[Value::Str("AA".into())]).unwrap();
+        d.push_row(&[Value::Str("DL".into())]).unwrap();
+        Dataset::Star(Arc::new(
+            StarSchema::with_join_cache_capacity(
+                Arc::new(f.finish()),
+                vec![(
+                    DimensionSpec::new("carriers", "carrier_key", vec!["carrier".into()]),
+                    Arc::new(d.finish()),
+                )],
+                capacity,
+            )
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn star_joins_devirtualize_through_the_shared_cache() {
+        let ds = star();
+        let plan = CompiledPlan::compile(&ds, &nominal_query()).unwrap();
+        let col = plan.dims[0].col();
+        assert!(matches!(col.access, Access::Direct), "materialized → flat");
+        let mat = col.materialized.as_ref().expect("materialized column");
+        assert_eq!(mat.as_nominal().unwrap().0, &[1, 0], "fact-ordered codes");
+        assert!(plan.stages.is_empty() && plan.fk_cols.is_empty());
+        // The cost model still bills the logical join.
+        assert_eq!(plan.joined_columns(), 1);
+        assert_eq!(plan.row_cost(), 2);
+
+        // A second plan over the same dataset shares the materialization.
+        let again = CompiledPlan::compile(&ds, &nominal_query()).unwrap();
+        let stats = ds.as_star().unwrap().join_cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits >= 1, "second compile hits the memo");
+        assert!(Arc::ptr_eq(
+            mat,
+            again.dims[0].col().materialized.as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn capped_cache_falls_back_to_per_plan_code_caches() {
+        let ds = star_capped(0);
+        let plan = CompiledPlan::compile(&ds, &nominal_query()).unwrap();
+        let col = plan.dims[0].col();
+        assert!(
+            matches!(
+                col.access,
+                Access::Staged {
+                    slot: 0,
+                    nominal: true
+                }
+            ),
+            "declined materialization stages through the FK"
+        );
+        assert!(col.materialized.is_none());
+        assert_eq!(plan.fk_cols.len(), 1, "one staged FK column");
+        match &plan.stages[..] {
+            [StageSpec::JoinCodes { fk_slot: 0, cache }] => {
+                assert_eq!(cache.as_slice(), &[0, 1], "dim-row-indexed codes");
+            }
+            other => panic!("expected one JoinCodes stage, got {other:?}"),
+        }
+        assert_eq!(ds.as_star().unwrap().join_cache_stats().declined, 1);
+    }
+
+    #[test]
+    fn staging_defers_non_filter_columns_past_the_filter() {
+        // Filter on a *direct* fact column, binning on a staged joined one:
+        // the join staging must land in the post-filter phase, so morsels
+        // the filter rejects never pay the FK gather.
+        let ds = star_capped(0);
+        let spec = VizSpec::new(
+            "v",
+            "flights",
+            vec![BinDef::Nominal {
+                dimension: "carrier".into(),
+            }],
+            vec![AggregateSpec::count()],
+        );
+        let q = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::Range {
+                column: "dep_delay".into(),
+                min: 0.0,
+                max: 10.0,
+            })),
+        );
+        let plan = CompiledPlan::compile(&ds, &q).unwrap();
+        assert_eq!(plan.stages.len(), 1);
+        assert!(plan.phases.filter_stages.is_empty());
+        assert!(plan.phases.filter_fks.is_empty());
+        assert_eq!(plan.phases.post_stages, vec![0]);
+        assert_eq!(plan.phases.post_fks, vec![0]);
+
+        // When the filter itself reads the staged column, it (and its FK)
+        // moves to the filter phase — and is not re-staged afterwards.
+        let q2 = Query::for_viz(
+            &spec,
+            Some(FilterExpr::Pred(Predicate::In {
+                column: "carrier".into(),
+                values: vec!["AA".into()],
+            })),
+        );
+        let plan2 = CompiledPlan::compile(&ds, &q2).unwrap();
+        assert_eq!(plan2.phases.filter_stages, vec![0]);
+        assert_eq!(plan2.phases.filter_fks, vec![0]);
+        assert!(plan2.phases.post_stages.is_empty());
+        assert!(plan2.phases.post_fks.is_empty());
+    }
+
+    #[test]
+    fn indirect_policy_keeps_virtual_access() {
+        let ds = star();
+        let plan = CompiledPlan::compile_with(&ds, &nominal_query(), JoinPolicy::Indirect).unwrap();
+        assert!(matches!(plan.dims[0].col().access, Access::Virtual));
+        assert!(plan.stages.is_empty() && plan.fk_cols.is_empty());
+        assert_eq!(plan.join_policy(), JoinPolicy::Indirect);
+        // No materialization was even attempted.
+        assert_eq!(ds.as_star().unwrap().join_cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn repeated_column_references_share_one_stage_slot() {
+        // dep_delay appears as a (joined) dim *and* a measure: staged once.
+        let mut f = TableBuilder::with_fields("facts", &[("k", DataType::Int)]);
+        f.push_row(&[0i64.into()]).unwrap();
+        f.push_row(&[1i64.into()]).unwrap();
+        let mut d = TableBuilder::with_fields("dims", &[("dep_delay", DataType::Float)]);
+        d.push_row(&[5.0.into()]).unwrap();
+        d.push_row(&[15.0.into()]).unwrap();
+        let ds = Dataset::Star(Arc::new(
+            StarSchema::with_join_cache_capacity(
+                Arc::new(f.finish()),
+                vec![(
+                    DimensionSpec::new("dims", "k", vec!["dep_delay".into()]),
+                    Arc::new(d.finish()),
+                )],
+                0,
+            )
+            .unwrap(),
+        ));
+        let spec = VizSpec::new(
+            "v",
+            "facts",
+            vec![BinDef::Width {
+                dimension: "dep_delay".into(),
+                width: 10.0,
+                anchor: 0.0,
+            }],
+            vec![AggregateSpec::over(AggFunc::Avg, "dep_delay")],
+        );
+        let plan = CompiledPlan::compile(&ds, &Query::for_viz(&spec, None)).unwrap();
+        assert_eq!(plan.stages.len(), 1, "dim and measure share the stage");
+        assert!(matches!(
+            plan.dims[0].col().access,
+            Access::Staged {
+                slot: 0,
+                nominal: false
+            }
+        ));
+        assert!(matches!(
+            plan.measures[0].as_ref().unwrap().access,
+            Access::Staged {
+                slot: 0,
+                nominal: false
+            }
+        ));
     }
 
     #[test]

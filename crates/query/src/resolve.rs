@@ -113,6 +113,17 @@ impl<'a> ResolvedColumn<'a> {
             fk: self.fk,
         }
     }
+
+    /// The column as the morsel kernels see it: flat direct slices when no
+    /// join or validity stands in the way, the per-row virtualized
+    /// accessor otherwise (this borrow-based path never stages).
+    pub(crate) fn view(&self) -> crate::plan::ColView<'a> {
+        if self.fk.is_none() && self.column.validity().is_none() {
+            crate::plan::ColView::direct(self.column.typed())
+        } else {
+            crate::plan::ColView::Virtual(self.bind())
+        }
+    }
 }
 
 /// A fully-resolved query: compiled filter, binning and measure accessors,
@@ -142,13 +153,12 @@ impl<'a> ResolvedQuery<'a> {
     /// Binds `query` against `dataset`.
     pub fn new(dataset: &'a Dataset, query: &Query) -> Result<Self, CoreError> {
         let filter = query
-            .filter
-            .as_ref()
+            .filter()
             .map(|f| crate::filter::CompiledFilter::compile(dataset, f))
             .transpose()?;
-        let binning = crate::binning::CompiledBinning::compile(dataset, &query.binning)?;
+        let binning = crate::binning::CompiledBinning::compile(dataset, query.binning())?;
         let measures = query
-            .aggregates
+            .aggregates()
             .iter()
             .map(|a| {
                 a.dimension

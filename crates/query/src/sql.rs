@@ -14,7 +14,7 @@ pub fn to_sql(query: &Query, star: Option<&StarSchema>) -> String {
     let mut select_items: Vec<String> = Vec::new();
     let mut group_by: Vec<String> = Vec::new();
 
-    for (i, bin) in query.binning.iter().enumerate() {
+    for (i, bin) in query.binning().iter().enumerate() {
         let expr = match bin {
             BinDef::Nominal { dimension } => dimension.clone(),
             BinDef::Width {
@@ -36,7 +36,7 @@ pub fn to_sql(query: &Query, star: Option<&StarSchema>) -> String {
         group_by.push(format!("bin_{i}"));
     }
 
-    for agg in &query.aggregates {
+    for agg in query.aggregates() {
         let item = match (&agg.func, &agg.dimension) {
             (AggFunc::Count, _) => "COUNT(*)".to_string(),
             (f, Some(d)) => format!("{}({d})", f.sql_name()),
@@ -50,7 +50,7 @@ pub fn to_sql(query: &Query, star: Option<&StarSchema>) -> String {
         sql,
         "SELECT {} FROM {}",
         select_items.join(", "),
-        query.source
+        query.source()
     );
 
     // Join clauses for dimension-table columns.
@@ -75,7 +75,7 @@ pub fn to_sql(query: &Query, star: Option<&StarSchema>) -> String {
         }
     }
 
-    if let Some(filter) = &query.filter {
+    if let Some(filter) = query.filter() {
         let _ = write!(sql, " WHERE {}", filter_sql(filter));
     }
     let _ = write!(sql, " GROUP BY {}", group_by.join(", "));

@@ -198,6 +198,22 @@ impl Column {
         })
     }
 
+    /// In-memory footprint in bytes: payload plus the validity bitmap's
+    /// backing words. The star-schema join cache accounts materialized
+    /// columns with this when charging its byte budget.
+    pub fn byte_size(&self) -> usize {
+        let payload = match &self.data {
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Nominal(v, _) => v.len() * 4,
+        };
+        payload
+            + self
+                .validity
+                .as_ref()
+                .map_or(0, |v| v.len().div_ceil(64) * 8)
+    }
+
     /// Materializes the subset of rows in `rows`, preserving order.
     pub fn take(&self, rows: &[usize]) -> Column {
         let data = match &self.data {

@@ -30,5 +30,5 @@ pub use dictionary::Dictionary;
 pub use error::StorageError;
 pub use schema::{DataType, Field, Schema};
 pub use selection::SelVec;
-pub use star::{Dataset, DimensionSpec, StarSchema};
+pub use star::{Dataset, DimensionSpec, JoinCacheStats, StarSchema, DEFAULT_JOIN_CACHE_BYTES};
 pub use table::{Table, TableBuilder, Value};

@@ -6,9 +6,12 @@
 //! passes to system adapters; engines that only support de-normalized data
 //! (like the paper's IDEA and System X) reject the `Star` variant.
 
+use crate::column::Column;
 use crate::error::StorageError;
 use crate::table::Table;
-use std::sync::Arc;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Specification of one dimension split out of a de-normalized table.
 ///
@@ -39,11 +42,54 @@ impl DimensionSpec {
     }
 }
 
+/// Default capacity of a star schema's join cache, in bytes (see
+/// [`StarSchema::materialize_join`]).
+pub const DEFAULT_JOIN_CACHE_BYTES: usize = 256 << 20;
+
+/// Observable counters of a star schema's join cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinCacheStats {
+    /// Materialized columns currently cached.
+    pub entries: usize,
+    /// Bytes held by the cached materializations.
+    pub bytes: usize,
+    /// Capacity in bytes; materializations that would exceed it are declined.
+    pub capacity: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that materialized (and inserted) a new column.
+    pub misses: u64,
+    /// Materializations declined because they would exceed the capacity.
+    pub declined: u64,
+}
+
+/// `(dimension index, column index)` → fact-ordered materialization.
+type MaterializedColumns = FxHashMap<(usize, usize), Arc<Column>>;
+
+/// Shared memo of fact-ordered dimension-column materializations.
+///
+/// The cache lives behind an `Arc`, so every clone of a [`StarSchema`] —
+/// and every engine, session, or [`Dataset`] handle derived from it —
+/// shares one set of materialized columns. Insertion is capped by a byte
+/// budget; once full, further materializations are declined (the caller
+/// falls back to translated per-morsel join access) rather than evicted,
+/// keeping hot columns resident for the lifetime of the dataset.
+#[derive(Debug)]
+struct JoinCacheInner {
+    capacity: usize,
+    /// Materialized columns plus the bytes they hold, under one lock.
+    columns: Mutex<(MaterializedColumns, usize)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    declined: AtomicU64,
+}
+
 /// A normalized dataset: one fact table and its dimensions.
 #[derive(Debug, Clone)]
 pub struct StarSchema {
     fact: Arc<Table>,
     dimensions: Vec<(DimensionSpec, Arc<Table>)>,
+    join_cache: Arc<JoinCacheInner>,
 }
 
 impl StarSchema {
@@ -53,6 +99,16 @@ impl StarSchema {
     pub fn new(
         fact: Arc<Table>,
         dimensions: Vec<(DimensionSpec, Arc<Table>)>,
+    ) -> Result<Self, StorageError> {
+        Self::with_join_cache_capacity(fact, dimensions, DEFAULT_JOIN_CACHE_BYTES)
+    }
+
+    /// [`StarSchema::new`] with an explicit join-cache byte capacity
+    /// (`0` disables materialization entirely).
+    pub fn with_join_cache_capacity(
+        fact: Arc<Table>,
+        dimensions: Vec<(DimensionSpec, Arc<Table>)>,
+        capacity: usize,
     ) -> Result<Self, StorageError> {
         for (spec, dim) in &dimensions {
             let fk = fact.column(&spec.fk_name)?;
@@ -72,7 +128,17 @@ impl StarSchema {
                 });
             }
         }
-        Ok(StarSchema { fact, dimensions })
+        Ok(StarSchema {
+            fact,
+            dimensions,
+            join_cache: Arc::new(JoinCacheInner {
+                capacity,
+                columns: Mutex::new((FxHashMap::default(), 0)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                declined: AtomicU64::new(0),
+            }),
+        })
     }
 
     /// The fact table.
@@ -103,6 +169,100 @@ impl StarSchema {
             .find(|(s, _)| s.table_name == table_name)
             .map(|(s, t)| (s, t))
             .ok_or_else(|| StorageError::UnknownTable(table_name.to_string()))
+    }
+
+    /// Fact-ordered materialization of the dimension column `column`,
+    /// served from the schema's shared join cache.
+    ///
+    /// The returned column has one row per *fact* row — row `r` holds
+    /// `dim_column[fk[r]]` (with nulls preserved) — so scans read it like
+    /// any de-normalized column: no per-row foreign-key indirection, no
+    /// join at all. Materialization runs once per `(dimension, column)`
+    /// pair; the memo is `Arc`-shared across every clone of this schema,
+    /// so concurrent sessions and repeated queries against one dataset
+    /// reuse a single materialization.
+    ///
+    /// Returns `None` when `column` is not a dimension attribute, or when
+    /// materializing it would push the cache past its byte capacity (the
+    /// caller then keeps translated join access; nothing is evicted).
+    pub fn materialize_join(&self, column: &str) -> Option<Arc<Column>> {
+        let (dim_idx, (spec, dim)) = self
+            .dimensions
+            .iter()
+            .enumerate()
+            .find(|(_, (_, t))| t.schema().index_of(column).is_ok())?;
+        let col_idx = dim.schema().index_of(column).ok()?;
+        let cache = &self.join_cache;
+        if let Some(hit) = cache.columns.lock().unwrap().0.get(&(dim_idx, col_idx)) {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(hit));
+        }
+        let dim_col = dim.column_at(col_idx);
+        // Size the materialization *before* building it — declining must
+        // not cost an O(fact) gather. The estimate matches the built
+        // column's [`Column::byte_size`] by construction: element width ×
+        // fact rows, plus the validity bitmap `take` carries over whenever
+        // the dimension column has one.
+        let elem = match dim_col.data() {
+            crate::column::ColumnData::Nominal(..) => 4,
+            _ => 8,
+        };
+        let validity_bytes = if dim_col.validity().is_some() {
+            self.fact.num_rows().div_ceil(64) * 8
+        } else {
+            0
+        };
+        let size = elem * self.fact.num_rows() + validity_bytes;
+        {
+            let held = self.join_cache.columns.lock().unwrap().1;
+            if held + size > cache.capacity {
+                cache.declined.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        let fk = self
+            .fact
+            .column(&spec.fk_name)
+            .ok()?
+            .as_int()
+            .expect("fk column validated at construction");
+        let rows: Vec<usize> = fk.iter().map(|&k| k as usize).collect();
+        let materialized = Arc::new(dim_col.take(&rows));
+        debug_assert_eq!(materialized.byte_size(), size, "pre-sizing is exact");
+        let mut guard = cache.columns.lock().unwrap();
+        // Re-check under the lock: a racing materialization may have landed
+        // (reuse it, dropping ours) or consumed the remaining budget.
+        if let Some(existing) = guard.0.get(&(dim_idx, col_idx)) {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(existing));
+        }
+        if guard.1 + size > cache.capacity {
+            cache.declined.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        guard.1 += materialized.byte_size();
+        guard
+            .0
+            .insert((dim_idx, col_idx), Arc::clone(&materialized));
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        Some(materialized)
+    }
+
+    /// Counters of the shared join cache (see
+    /// [`StarSchema::materialize_join`]).
+    pub fn join_cache_stats(&self) -> JoinCacheStats {
+        let (entries, bytes) = {
+            let guard = self.join_cache.columns.lock().unwrap();
+            (guard.0.len(), guard.1)
+        };
+        JoinCacheStats {
+            entries,
+            bytes,
+            capacity: self.join_cache.capacity,
+            hits: self.join_cache.hits.load(Ordering::Relaxed),
+            misses: self.join_cache.misses.load(Ordering::Relaxed),
+            declined: self.join_cache.declined.load(Ordering::Relaxed),
+        }
     }
 
     /// Total rows across fact and dimensions (size metric for reports).
@@ -148,6 +308,17 @@ impl Dataset {
     /// True when the dataset is normalized (requires join support).
     pub fn is_normalized(&self) -> bool {
         matches!(self, Dataset::Star(_))
+    }
+
+    /// Whether two handles point at the *same* dataset (`Arc` identity).
+    /// Engines use this for idempotent `prepare`: re-preparing the dataset
+    /// already loaded must not rebuild shuffles, samples, or statistics.
+    pub fn ptr_eq(&self, other: &Dataset) -> bool {
+        match (self, other) {
+            (Dataset::Denormalized(x), Dataset::Denormalized(y)) => Arc::ptr_eq(x, y),
+            (Dataset::Star(x), Dataset::Star(y)) => Arc::ptr_eq(x, y),
+            _ => false,
+        }
     }
 
     /// Total byte footprint.
@@ -252,6 +423,43 @@ mod tests {
         let (d, _) = s.dimension_of_column("carrier").unwrap();
         assert_eq!(d.table_name, "carriers");
         assert!(s.dimension_of_column("dep_delay").is_none());
+    }
+
+    #[test]
+    fn join_cache_materializes_once_and_shares() {
+        let s = StarSchema::new(fact(), vec![(spec(), carriers())]).unwrap();
+        let a = s.materialize_join("carrier").unwrap();
+        // Fact-ordered: keys [0, 1, 0] → codes of AA, DL, AA.
+        let (codes, dict) = a.as_nominal().unwrap();
+        assert_eq!(codes, &[0, 1, 0]);
+        assert_eq!(dict.value(1), Some("DL"));
+        // Second lookup — and lookups through a *clone* of the schema —
+        // share the same materialization.
+        let b = s.materialize_join("carrier").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = s.clone().materialize_join("carrier").unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        let stats = s.join_cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 3 * 4);
+        assert_eq!((stats.hits, stats.misses, stats.declined), (2, 1, 0));
+    }
+
+    #[test]
+    fn join_cache_declines_over_capacity() {
+        let s =
+            StarSchema::with_join_cache_capacity(fact(), vec![(spec(), carriers())], 0).unwrap();
+        assert!(s.materialize_join("carrier").is_none());
+        let stats = s.join_cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.declined, 1);
+    }
+
+    #[test]
+    fn join_cache_rejects_non_dimension_columns() {
+        let s = StarSchema::new(fact(), vec![(spec(), carriers())]).unwrap();
+        assert!(s.materialize_join("dep_delay").is_none(), "fact column");
+        assert!(s.materialize_join("ghost").is_none(), "unknown column");
     }
 
     #[test]

@@ -430,6 +430,111 @@ proptest! {
     }
 }
 
+// --------------------------------------- dense bucket-boundary semantics
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dense arithmetic slot kernel's branchless trunc-adjust floor
+    /// (`t = q as i64 as f64; fl = if t > q { t - 1 } else { t }`) is
+    /// bit-identical to the scalar reference's `f64::floor` on the worst
+    /// inputs for a floor: values *exactly on bucket edges*, negative
+    /// anchors, negative values, and non-representable widths — and the
+    /// dense slot decode (`lo + slot`) reproduces the hashed path's bucket
+    /// indices exactly.
+    #[test]
+    fn dense_width_slots_agree_on_bucket_edges(
+        anchor in -1_000.0f64..1_000.0,
+        width_pick in 0usize..6,
+        ks in prop::collection::vec(-200i64..200, 1..150),
+        offs in prop::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let width = [0.1, 0.25, 1.0, 3.0, 7.5, 1e-3][width_pick];
+        // Edge values anchor + k·width (exact bucket boundaries whenever
+        // representable, negative k included) plus interior offsets.
+        let mut vals: Vec<f64> = ks.iter().map(|&k| anchor + k as f64 * width).collect();
+        for (i, o) in offs.iter().enumerate() {
+            let k = ks[i % ks.len()];
+            vals.push(anchor + (k as f64 + o) * width);
+        }
+        let mut b = TableBuilder::with_fields("t", &[("x", DataType::Float)]);
+        for &v in &vals {
+            b.push_row(&[v.into()]).unwrap();
+        }
+        let ds = Dataset::Denormalized(Arc::new(b.finish()));
+        let spec = VizSpec::new(
+            "v",
+            "t",
+            vec![BinDef::Width { dimension: "x".into(), width, anchor }],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Sum, "x"),
+                AggregateSpec::over(AggFunc::Min, "x"),
+                AggregateSpec::over(AggFunc::Max, "x"),
+            ],
+        );
+        let q = Query::for_viz(&spec, None);
+        // The bounded value range (|k| ≤ 200) must actually lower to the
+        // dense arithmetic path, or this test pins nothing.
+        let plan = idebench::query::CompiledPlan::compile(&ds, &q)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert!(
+            matches!(plan.acc_mode(), idebench::query::AccMode::Dense(_)),
+            "bounded bucket space must be dense, got {:?}", plan.acc_mode()
+        );
+        let vectorized = execute_exact(&ds, &q)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let scalar = idebench::query::execute_exact_scalar(&ds, &q)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&vectorized, &scalar, "dense slots vs scalar floor");
+    }
+}
+
+/// Deterministic bucket-edge audit: negative anchor, negative values, and
+/// values landing exactly on representable bucket boundaries.
+#[test]
+fn dense_width_exact_boundaries_match_scalar() {
+    for (anchor, width) in [(0.0, 1.0), (-17.5, 2.5), (3.0, 0.25), (-400.0, 7.5)] {
+        let mut b = TableBuilder::with_fields("t", &[("x", DataType::Float)]);
+        for k in -40i64..=40 {
+            // One value exactly on each edge, one just inside, one just
+            // below the edge (previous bucket).
+            let edge = anchor + k as f64 * width;
+            // The next f64 strictly below the edge (previous bucket).
+            let below = if edge == 0.0 {
+                -f64::MIN_POSITIVE
+            } else if edge > 0.0 {
+                f64::from_bits(edge.to_bits() - 1)
+            } else {
+                f64::from_bits(edge.to_bits() + 1)
+            };
+            b.push_row(&[edge.into()]).unwrap();
+            b.push_row(&[(edge + width * 0.5).into()]).unwrap();
+            b.push_row(&[below.into()]).unwrap();
+        }
+        let ds = Dataset::Denormalized(Arc::new(b.finish()));
+        let spec = VizSpec::new(
+            "v",
+            "t",
+            vec![BinDef::Width {
+                dimension: "x".into(),
+                width,
+                anchor,
+            }],
+            vec![
+                AggregateSpec::count(),
+                AggregateSpec::over(AggFunc::Sum, "x"),
+            ],
+        );
+        let q = Query::for_viz(&spec, None);
+        assert_eq!(
+            execute_exact(&ds, &q).unwrap(),
+            idebench::query::execute_exact_scalar(&ds, &q).unwrap(),
+            "anchor {anchor}, width {width}"
+        );
+    }
+}
+
 /// Worker-count determinism on data that genuinely spans several dispatch
 /// chunks: runs with different worker counts must produce *identical*
 /// `AggResult`s (every f64 bit included), and match the scalar reference.
